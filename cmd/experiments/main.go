@@ -1,0 +1,60 @@
+// Command experiments regenerates every table of the paper's evaluation
+// section (Sec 7) over the synthetic worlds and prints them with the
+// paper's reference values inline.
+//
+// Usage:
+//
+//	experiments                 # all tables
+//	experiments -table 13       # one table
+//	experiments -md out.md      # also write a Markdown report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to run: 4..18, ev, or all")
+	md := flag.String("md", "", "also write the full report to this Markdown file")
+	flag.Parse()
+
+	suite := eval.NewSuite()
+	runners := map[string]func() string{
+		"4": suite.Table4Text, "5": suite.Table5Text, "6": suite.Table6Text,
+		"7": suite.Table7Text, "8": suite.Table8Text, "9": suite.Table9Text,
+		"10": suite.Table10Text, "11": suite.Table11Text, "12": suite.Table12Text,
+		"13": suite.Table13Text, "14": suite.Table14Text, "15": suite.Table15Text,
+		"16": suite.Table16Text, "17": suite.Table17Text, "18": suite.Table18Text,
+		"ev": suite.EntityValueIDText, "abl": suite.AblationText,
+	}
+
+	var out string
+	if *table == "all" {
+		out = suite.All()
+	} else if run, ok := runners[*table]; ok {
+		out = run()
+	} else {
+		fmt.Fprintf(os.Stderr, "experiments: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+	fmt.Print(out)
+
+	if *md != "" {
+		full := out
+		if *table != "all" {
+			full = suite.All()
+		}
+		report := "# KBQA reproduction — experiment report\n\n```\n" +
+			strings.TrimRight(full, "\n") + "\n```\n"
+		if err := os.WriteFile(*md, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *md)
+	}
+}

@@ -1,0 +1,98 @@
+// Command kbqa-server exposes a trained KBQA system over HTTP.
+//
+// Endpoints:
+//
+//	GET /ask?q=<question>  -> JSON answer (404-style JSON when unanswerable)
+//	GET /stats             -> system statistics
+//	GET /health            -> liveness probe
+//
+// Usage:
+//
+//	kbqa-server -addr :8080 -flavor freebase
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/kbqa"
+)
+
+type server struct {
+	sys *kbqa.System
+}
+
+type askResponse struct {
+	Question  string      `json:"question"`
+	Answered  bool        `json:"answered"`
+	Answer    string      `json:"answer,omitempty"`
+	Values    []string    `json:"values,omitempty"`
+	Predicate string      `json:"predicate,omitempty"`
+	Template  string      `json:"template,omitempty"`
+	Steps     []kbqa.Step `json:"steps,omitempty"`
+}
+
+func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, `missing query parameter "q"`, http.StatusBadRequest)
+		return
+	}
+	resp := askResponse{Question: q}
+	if ans, ok := s.sys.Ask(q); ok {
+		resp.Answered = true
+		resp.Answer = ans.Value
+		resp.Values = ans.Values
+		resp.Predicate = ans.Predicate
+		resp.Template = ans.Template
+		resp.Steps = ans.Steps
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.sys.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("kbqa-server: encode response: %v", err)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flavor := flag.String("flavor", "freebase", "knowledge base flavor")
+	seed := flag.Int64("seed", 42, "generation seed")
+	flag.Parse()
+
+	log.Printf("building %s world...", *flavor)
+	sys, err := kbqa.Build(kbqa.Options{Flavor: *flavor, Seed: *seed})
+	if err != nil {
+		log.Fatalf("kbqa-server: %v", err)
+	}
+	st := sys.Stats()
+	log.Printf("ready: %d templates over %d predicates", st.Templates, st.Intents)
+
+	s := &server{sys: sys}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ask", s.handleAsk)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      mux,
+		ReadTimeout:  5 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/kbqa"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *server
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	srvOnce.Do(func() {
+		sys, err := kbqa.Build(kbqa.Options{Flavor: "dbpedia", Seed: 42, Scale: 12, PairsPerIntent: 12})
+		if err != nil {
+			panic(err)
+		}
+		srv = &server{sys: sys}
+	})
+	return srv
+}
+
+func TestHandleAskAnswered(t *testing.T) {
+	s := testServer(t)
+	q := s.sys.SampleQuestions(1)[0]
+	req := httptest.NewRequest(http.MethodGet, "/ask?q="+escapeQuery(q), nil)
+	rec := httptest.NewRecorder()
+	s.handleAsk(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp askResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Answered || resp.Answer == "" || resp.Predicate == "" {
+		t.Fatalf("response = %+v", resp)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestHandleAskUnanswered(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/ask?q=what+is+the+meaning+of+life", nil)
+	rec := httptest.NewRecorder()
+	s.handleAsk(rec, req)
+	var resp askResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answered {
+		t.Errorf("unanswerable question answered: %+v", resp)
+	}
+}
+
+func TestHandleAskMissingQuery(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/ask", nil)
+	rec := httptest.NewRecorder()
+	s.handleAsk(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", rec.Code)
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var st kbqa.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Templates == 0 || st.Entities == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func escapeQuery(q string) string {
+	out := make([]byte, 0, len(q))
+	for i := 0; i < len(q); i++ {
+		switch q[i] {
+		case ' ':
+			out = append(out, '+')
+		case '?':
+			out = append(out, "%3F"...)
+		case '\'':
+			out = append(out, "%27"...)
+		default:
+			out = append(out, q[i])
+		}
+	}
+	return string(out)
+}

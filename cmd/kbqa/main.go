@@ -1,0 +1,82 @@
+// Command kbqa answers questions over a synthesized knowledge base, either
+// one-shot (-q) or as an interactive REPL.
+//
+// Usage:
+//
+//	kbqa -flavor freebase -q "What is the population of Dunford?"
+//	kbqa -flavor dbpedia            # interactive
+//	kbqa -samples 10                # print 10 answerable questions and quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/kbqa"
+)
+
+func main() {
+	flavor := flag.String("flavor", "freebase", "knowledge base flavor: kba, freebase, dbpedia")
+	seed := flag.Int64("seed", 42, "generation seed")
+	scale := flag.Int("scale", 30, "entities per category")
+	pairs := flag.Int("pairs", 40, "training QA pairs per intent")
+	question := flag.String("q", "", "one-shot question (otherwise interactive)")
+	samples := flag.Int("samples", 0, "print this many answerable sample questions and exit")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "building %s world (seed %d)...\n", *flavor, *seed)
+	sys, err := kbqa.Build(kbqa.Options{
+		Flavor:         *flavor,
+		Seed:           *seed,
+		Scale:          *scale,
+		PairsPerIntent: *pairs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kbqa:", err)
+		os.Exit(1)
+	}
+	st := sys.Stats()
+	fmt.Fprintf(os.Stderr, "ready: %d entities, %d triples, %d templates, %d predicates\n",
+		st.Entities, st.Triples, st.Templates, st.Intents)
+
+	if *samples > 0 {
+		for _, q := range sys.SampleQuestions(*samples) {
+			fmt.Println(q)
+		}
+		return
+	}
+	if *question != "" {
+		answer(sys, *question)
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "enter questions, one per line (ctrl-D to quit):")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		answer(sys, q)
+	}
+}
+
+func answer(sys *kbqa.System, q string) {
+	ans, ok := sys.Ask(q)
+	if !ok {
+		fmt.Println("no answer (question outside the knowledge base or not a factoid question)")
+		return
+	}
+	fmt.Printf("answer:    %s\n", ans.Value)
+	if len(ans.Values) > 1 {
+		fmt.Printf("all:       %s\n", strings.Join(ans.Values, ", "))
+	}
+	fmt.Printf("predicate: %s\n", ans.Predicate)
+	fmt.Printf("template:  %s\n", ans.Template)
+	for i, st := range ans.Steps {
+		fmt.Printf("step %d:    %q -> %s (via %s)\n", i+1, st.Question, st.Value, st.Predicate)
+	}
+}

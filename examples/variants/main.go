@@ -1,0 +1,60 @@
+// BFQ variants (the paper's introduction): once binary factoid questions
+// are answerable, ranking, comparison and listing questions follow for
+// free — the variant engine grounds the comparative/superlative phrase in
+// a predicate through the *learned* templates and aggregates over V(e,p).
+//
+// Run with:
+//
+//	go run ./examples/variants
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/kbqa"
+)
+
+func main() {
+	sys, err := kbqa.Build(kbqa.Options{Flavor: "freebase", Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	questions := []string{
+		"Which city has the 3rd largest population?",
+		"Which city has the smallest population?",
+		"List cities ordered by population?",
+		"Which mountain has the highest elevation?",
+	}
+	for _, q := range questions {
+		ans, ok := sys.AskVariant(q)
+		fmt.Printf("Q: %s\n", q)
+		if !ok {
+			fmt.Println("   (not a recognizable variant)")
+			continue
+		}
+		switch ans.Kind {
+		case "listing":
+			fmt.Printf("   [%s over %s]\n", ans.Kind, ans.Predicate)
+			for i := range ans.Entities {
+				fmt.Printf("   %2d. %-24s %s\n", i+1, ans.Entities[i], ans.Values[i])
+			}
+		default:
+			fmt.Printf("   A: %s (%s; %s = %s)\n",
+				strings.Join(ans.Entities, ", "), ans.Kind, ans.Predicate, strings.Join(ans.Values, ", "))
+		}
+		fmt.Println()
+	}
+
+	// Comparison needs two concrete entities: take the top two cities from
+	// the listing answer.
+	if list, ok := sys.AskVariant("list cities ordered by population?"); ok && len(list.Entities) >= 2 {
+		big, small := list.Entities[0], list.Entities[len(list.Entities)-1]
+		q := fmt.Sprintf("Which city has more people, %s or %s?", big, small)
+		if ans, ok := sys.AskVariant(q); ok {
+			fmt.Printf("Q: %s\n   A: %s (population %s)\n", q, ans.Entities[0], ans.Values[0])
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package concept implements the conceptualization substrate KBQA relies on
+// to turn entity mentions into concept (category) distributions.
+//
+// In the paper this is Probase [32] together with context-aware
+// conceptualization [25]: given a question q and an entity e in it, produce
+// P(c|q,e) — the probability that the mention refers to concept c in this
+// context, so "apple" in "what is the headquarter of apple" conceptualizes to
+// $company rather than $fruit. We reproduce both layers:
+//
+//   - a probabilistic isA taxonomy (entity → weighted concepts), and
+//   - context evidence (concept → context words that co-occur with it),
+//     combined by naive-Bayes style reweighting.
+package concept
+
+import (
+	"sort"
+
+	"repro/internal/text"
+)
+
+// Scored pairs a concept name with a probability mass.
+type Scored struct {
+	Concept string
+	P       float64
+}
+
+// Taxonomy is a probabilistic isA network plus context evidence. The zero
+// value is empty but usable; construct with NewTaxonomy for clarity.
+type Taxonomy struct {
+	// isA maps a normalized entity surface form to its concepts with prior
+	// weights (not necessarily normalized; Conceptualize normalizes).
+	isA map[string][]Scored
+	// ctx maps a concept to context-word weights: evidence that seeing the
+	// word near a mention indicates the concept.
+	ctx map[string]map[string]float64
+	// concepts is the set of all concept names ever registered.
+	concepts map[string]bool
+}
+
+// NewTaxonomy returns an empty taxonomy.
+func NewTaxonomy() *Taxonomy {
+	return &Taxonomy{
+		isA:      make(map[string][]Scored),
+		ctx:      make(map[string]map[string]float64),
+		concepts: make(map[string]bool),
+	}
+}
+
+// AddIsA registers "entity isA concept" with the given prior weight.
+// Repeated calls for the same pair accumulate weight.
+func (t *Taxonomy) AddIsA(entity, concept string, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	key := text.Normalize(entity)
+	t.concepts[concept] = true
+	for i := range t.isA[key] {
+		if t.isA[key][i].Concept == concept {
+			t.isA[key][i].P += weight
+			return
+		}
+	}
+	t.isA[key] = append(t.isA[key], Scored{Concept: concept, P: weight})
+}
+
+// AddContextEvidence registers that word is evidence for concept with the
+// given strength (e.g. "headquarter" for company, "pie" for fruit).
+func (t *Taxonomy) AddContextEvidence(concept, word string, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	m, ok := t.ctx[concept]
+	if !ok {
+		m = make(map[string]float64)
+		t.ctx[concept] = m
+	}
+	m[text.Normalize(word)] += weight
+	t.concepts[concept] = true
+}
+
+// Concepts returns the prior concept distribution P(c|e) for the entity
+// surface form, normalized to sum to 1. The result is sorted by descending
+// probability, ties broken by concept name for determinism.
+func (t *Taxonomy) Concepts(entity string) []Scored {
+	return normalize(t.isA[text.Normalize(entity)])
+}
+
+// HasConcept reports whether the concept name is known to the taxonomy.
+func (t *Taxonomy) HasConcept(c string) bool { return t.concepts[c] }
+
+// NumConcepts returns the number of distinct concepts.
+func (t *Taxonomy) NumConcepts() int { return len(t.concepts) }
+
+// smoothing added to context likelihoods so that a concept with no evidence
+// for the observed words is damped rather than eliminated; mirrors the
+// smoothed naive-Bayes of short-text conceptualization [25].
+const ctxSmoothing = 0.1
+
+// Conceptualize computes P(c|q,e): the concept distribution of the entity
+// mention given the question context. contextTokens should be the question
+// tokens with the mention removed. With no context evidence at all this
+// reduces to the prior P(c|e).
+func (t *Taxonomy) Conceptualize(entity string, contextTokens []string) []Scored {
+	prior := t.isA[text.Normalize(entity)]
+	if len(prior) == 0 {
+		return nil
+	}
+	out := make([]Scored, len(prior))
+	for i, s := range prior {
+		like := 1.0
+		ev := t.ctx[s.Concept]
+		for _, w := range contextTokens {
+			if text.IsStopword(w) {
+				continue
+			}
+			like *= ctxSmoothing + ev[w]
+		}
+		out[i] = Scored{Concept: s.Concept, P: s.P * like}
+	}
+	return normalize(out)
+}
+
+// Best returns the highest-probability concept for the mention in context,
+// or "" when the entity is unknown.
+func (t *Taxonomy) Best(entity string, contextTokens []string) string {
+	cs := t.Conceptualize(entity, contextTokens)
+	if len(cs) == 0 {
+		return ""
+	}
+	return cs[0].Concept
+}
+
+func normalize(in []Scored) []Scored {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]Scored, len(in))
+	copy(out, in)
+	var sum float64
+	for _, s := range out {
+		sum += s.P
+	}
+	if sum <= 0 {
+		u := 1.0 / float64(len(out))
+		for i := range out {
+			out[i].P = u
+		}
+	} else {
+		for i := range out {
+			out[i].P /= sum
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	return out
+}

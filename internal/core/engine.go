@@ -1,0 +1,338 @@
+// Package core implements KBQA's online procedure (Sec 3): probabilistic
+// inference of the answer value for a question,
+//
+//	argmax_v Σ_{e,t,p} P(v|e,p) · P(p|t) · P(t|e,q) · P(e|q)   (Eq 7)
+//
+// and the divide-and-conquer pipeline for complex questions (Sec 5):
+// decompose into a BFQ sequence, answer each BFQ, binding every answer into
+// the next question's entity variable.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/concept"
+	"repro/internal/decompose"
+	"repro/internal/extract"
+	"repro/internal/learn"
+	"repro/internal/rdf"
+	"repro/internal/template"
+	"repro/internal/text"
+)
+
+// Step records one executed hop of a complex question.
+type Step struct {
+	Question string // the concrete BFQ answered
+	Template string
+	Path     string
+	Value    string
+}
+
+// Answer is the engine's response to a question.
+type Answer struct {
+	// Value is the argmax answer value (normalized surface form).
+	Value string
+	// Values is the full value set of the winning (entity, predicate)
+	// pair, for set-valued answers such as band members.
+	Values []string
+	// Score is the accumulated probability mass of Value (unnormalized).
+	Score float64
+	// Entity, Template, Path identify the winning interpretation.
+	Entity   rdf.ID
+	Template string
+	Path     string
+	// Steps is non-empty when the question was answered by decomposition.
+	Steps []Step
+}
+
+// Complex reports whether the answer came from a decomposed question.
+func (a Answer) Complex() bool { return len(a.Steps) > 1 }
+
+// Engine is the online QA engine. All fields except Decomposer are
+// required.
+type Engine struct {
+	KB       *rdf.Store
+	Taxonomy *concept.Taxonomy
+	Model    *learn.Model
+	// Decomposer, when set, enables complex-question answering.
+	Decomposer *decompose.Decomposer
+	// MaxChainValues caps how many values of an intermediate step are
+	// expanded during complex-question execution (default 8).
+	MaxChainValues int
+}
+
+// NewEngine builds an engine. A non-nil stats enables complex-question
+// decomposition; per question, Answer wires a δ oracle that rejects spans
+// without a fully-contained entity mention before paying for full
+// interpretation, which keeps the DP's δ evaluations cheap.
+func NewEngine(kb *rdf.Store, tax *concept.Taxonomy, model *learn.Model, stats *decompose.Stats) *Engine {
+	e := &Engine{KB: kb, Taxonomy: tax, Model: model}
+	if stats != nil {
+		e.Decomposer = e.decomposerFor(nil)
+		e.Decomposer.Stats = stats
+	}
+	return e
+}
+
+// decomposerFor builds a decomposer whose primitive oracle uses the given
+// precomputed mentions (of the question about to be decomposed) as a fast
+// rejection filter. Engines are safe for concurrent Answer calls because
+// each call gets its own oracle closure.
+func (e *Engine) decomposerFor(mentions []extract.Mention) *decompose.Decomposer {
+	d := &decompose.Decomposer{MaxQuestionTokens: maxDecomposeTokens}
+	if e.Decomposer != nil {
+		d.Stats = e.Decomposer.Stats
+	}
+	d.Primitive = func(toks []string, sp text.Span) bool {
+		ms := mentions
+		if ms == nil {
+			ms = extract.FindMentions(e.KB, toks)
+		}
+		for _, m := range ms {
+			if sp.Contains(m.Span) {
+				return e.primitive(toks[sp.Start:sp.End])
+			}
+		}
+		return false
+	}
+	return d
+}
+
+// maxDecomposeTokens bounds the decomposition DP input; the paper notes
+// over 99% of corpus questions have |q| < 23 (Sec 5.3).
+const maxDecomposeTokens = 23
+
+// Answer answers a question. Primitive BFQs take the O(|P|) inference path
+// directly; only questions the direct path cannot answer pay for the
+// O(|q|^4) decomposition DP (Sec 5). ok is false when KBQA has no answer
+// (the "null" reply counted by the #pro metric).
+func (e *Engine) Answer(question string) (Answer, bool) {
+	if ans, ok := e.AnswerBFQ(question); ok {
+		return ans, true
+	}
+	if e.Decomposer == nil {
+		return Answer{}, false
+	}
+	toks := text.Tokenize(question)
+	if len(toks) > maxDecomposeTokens {
+		toks = toks[:maxDecomposeTokens]
+	}
+	mentions := extract.FindMentions(e.KB, toks)
+	if len(mentions) == 0 {
+		return Answer{}, false
+	}
+	d := e.decomposerFor(mentions)
+	if dec, ok := d.Decompose(question); ok && dec.IsComplex() {
+		if ans, ok := e.executeChain(dec); ok {
+			return ans, true
+		}
+	}
+	return Answer{}, false
+}
+
+// AnswerBFQ runs Eq (7) on a binary factoid question.
+func (e *Engine) AnswerBFQ(question string) (Answer, bool) {
+	qToks := text.Tokenize(question)
+	cands := e.interpretations(qToks)
+	if len(cands) == 0 {
+		return Answer{}, false
+	}
+
+	// Accumulate P(v|q) over interpretations; remember the strongest
+	// interpretation per value for the trace.
+	type acc struct {
+		score float64
+		best  interpretation
+		bestW float64
+	}
+	byValue := make(map[string]*acc)
+	for _, c := range cands {
+		perValue := c.weight / float64(len(c.values))
+		for _, v := range c.values {
+			label := text.Normalize(e.KB.Label(v))
+			a := byValue[label]
+			if a == nil {
+				a = &acc{}
+				byValue[label] = a
+			}
+			a.score += perValue
+			if perValue > a.bestW {
+				a.bestW = perValue
+				a.best = c
+			}
+		}
+	}
+
+	var bestLabel string
+	var best *acc
+	for label, a := range byValue {
+		if best == nil || a.score > best.score || (a.score == best.score && label < bestLabel) {
+			bestLabel, best = label, a
+		}
+	}
+
+	values := make([]string, 0, len(best.best.values))
+	for _, v := range best.best.values {
+		values = append(values, text.Normalize(e.KB.Label(v)))
+	}
+	sort.Strings(values)
+
+	return Answer{
+		Value:    bestLabel,
+		Values:   values,
+		Score:    best.score,
+		Entity:   best.best.entity,
+		Template: best.best.template,
+		Path:     best.best.path,
+	}, true
+}
+
+// interpretation is one (e, t, p) triple with its joint weight
+// P(e|q)·P(t|e,q)·P(p|t) and the value set V(e, p).
+type interpretation struct {
+	entity   rdf.ID
+	template string
+	path     string
+	weight   float64
+	values   []rdf.ID
+}
+
+// interpretations enumerates Eq (7)'s summation support: entities from the
+// question's mentions, templates from conceptualization, predicates from
+// the learned model.
+func (e *Engine) interpretations(qToks []string) []interpretation {
+	mentions := extract.FindMentions(e.KB, qToks)
+	if len(mentions) == 0 {
+		return nil
+	}
+	// P(e|q): uniform over all candidate entities across mentions.
+	var totalEntities int
+	for _, m := range mentions {
+		totalEntities += len(m.Entities)
+	}
+	pe := 1.0 / float64(totalEntities)
+
+	var out []interpretation
+	for _, m := range mentions {
+		tmpls := template.DeriveAll(e.Taxonomy, qToks, m.Span, m.Surface)
+		for _, ent := range m.Entities {
+			for _, tw := range tmpls {
+				dist := e.Model.PredDist(tw.Text)
+				if len(dist) == 0 {
+					continue
+				}
+				for pathKey, ppt := range dist {
+					if ppt <= 0 {
+						continue
+					}
+					path, ok := e.KB.ParsePath(pathKey)
+					if !ok {
+						continue
+					}
+					values := e.KB.PathObjects(ent, path)
+					if len(values) == 0 {
+						continue
+					}
+					out = append(out, interpretation{
+						entity:   ent,
+						template: tw.Text,
+						path:     pathKey,
+						weight:   pe * tw.P * ppt,
+						values:   values,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// primitive is the δ oracle of Algorithm 2: a token span is a primitive BFQ
+// iff the engine can actually answer it.
+func (e *Engine) primitive(toks []string) bool {
+	return len(e.interpretations(toks)) > 0
+}
+
+// executeChain runs a decomposition sequence: answer the innermost BFQ,
+// then repeatedly bind the answer(s) into the next pattern (Sec 5.1).
+func (e *Engine) executeChain(dec decompose.Decomposition) (Answer, bool) {
+	maxVals := e.MaxChainValues
+	if maxVals <= 0 {
+		maxVals = 8
+	}
+	first, ok := e.AnswerBFQ(dec.Sequence[0])
+	if !ok {
+		return Answer{}, false
+	}
+	steps := []Step{{
+		Question: dec.Sequence[0],
+		Template: first.Template,
+		Path:     first.Path,
+		Value:    first.Value,
+	}}
+	current := first.Values
+	if len(current) > maxVals {
+		current = current[:maxVals]
+	}
+	final := first
+
+	for _, pat := range dec.Sequence[1:] {
+		valueSet := make(map[string]bool)
+		var stepAnswer Answer
+		answered := false
+		for _, v := range current {
+			q := decompose.Bind(pat, v)
+			ans, ok := e.AnswerBFQ(q)
+			if !ok {
+				continue
+			}
+			answered = true
+			if !ans.less(stepAnswer) {
+				stepAnswer = ans
+			}
+			for _, nv := range ans.Values {
+				valueSet[nv] = true
+			}
+		}
+		if !answered {
+			return Answer{}, false
+		}
+		next := make([]string, 0, len(valueSet))
+		for v := range valueSet {
+			next = append(next, v)
+		}
+		sort.Strings(next)
+		if len(next) > maxVals {
+			next = next[:maxVals]
+		}
+		steps = append(steps, Step{
+			Question: decompose.Bind(pat, steps[len(steps)-1].Value),
+			Template: stepAnswer.Template,
+			Path:     stepAnswer.Path,
+			Value:    stepAnswer.Value,
+		})
+		current = next
+		final = stepAnswer
+		final.Values = next
+	}
+
+	final.Steps = steps
+	if len(final.Values) > 0 {
+		final.Value = final.Values[0]
+		for _, v := range final.Values {
+			if v == steps[len(steps)-1].Value {
+				final.Value = v
+				break
+			}
+		}
+	}
+	return final, true
+}
+
+// less orders answers by score for picking the strongest step answer.
+func (a Answer) less(b Answer) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Value > b.Value
+}

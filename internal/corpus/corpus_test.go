@@ -1,0 +1,185 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kbgen"
+	"repro/internal/text"
+)
+
+func testWorld(t testing.TB) (*kbgen.KB, []Pair) {
+	t.Helper()
+	kb := kbgen.Generate(kbgen.Config{Seed: 42, Flavor: kbgen.Freebase, Scale: 30})
+	pairs := Generate(kb, Config{Seed: 1, PairsPerIntent: 20, NoiseRate: 0.15})
+	return kb, pairs
+}
+
+func TestGenerateBasics(t *testing.T) {
+	kb, pairs := testWorld(t)
+	if len(pairs) < len(kb.Intents)*20 {
+		t.Fatalf("too few pairs: %d", len(pairs))
+	}
+	for _, p := range pairs[:50] {
+		if p.Q == "" || p.A == "" {
+			t.Fatalf("empty Q or A: %+v", p)
+		}
+		if !strings.HasSuffix(p.Q, "?") {
+			t.Errorf("question missing question mark: %q", p.Q)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	kb := kbgen.Generate(kbgen.Config{Seed: 42, Flavor: kbgen.Freebase, Scale: 20})
+	a := Generate(kb, Config{Seed: 5, PairsPerIntent: 10})
+	b := Generate(kb, Config{Seed: 5, PairsPerIntent: 10})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Q != b[i].Q || a[i].A != b[i].A {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestCleanPairsContainValue(t *testing.T) {
+	kb, pairs := testWorld(t)
+	for _, p := range pairs {
+		if p.Noise {
+			continue
+		}
+		vLabel := text.Normalize(kb.Store.Label(p.GoldValue))
+		if !strings.Contains(text.Normalize(p.A), vLabel) {
+			t.Fatalf("answer %q does not contain value %q", p.A, vLabel)
+		}
+		eLabel := text.Normalize(kb.Store.Label(p.GoldEntity))
+		if !strings.Contains(text.Normalize(p.Q), eLabel) {
+			t.Fatalf("question %q does not mention entity %q", p.Q, eLabel)
+		}
+	}
+}
+
+func TestNoiseRate(t *testing.T) {
+	kb := kbgen.Generate(kbgen.Config{Seed: 42, Flavor: kbgen.Freebase, Scale: 30})
+	pairs := Generate(kb, Config{Seed: 1, PairsPerIntent: 40, NoiseRate: 0.3, ExcludeNounPhrases: true})
+	noise := 0
+	for _, p := range pairs {
+		if p.Noise {
+			noise++
+		}
+	}
+	rate := float64(noise) / float64(len(pairs))
+	if rate < 0.2 || rate > 0.4 {
+		t.Errorf("noise rate = %.2f, want ~0.3", rate)
+	}
+	// Zero noise must give zero noise pairs.
+	clean := Generate(kb, Config{Seed: 1, PairsPerIntent: 10, NoiseRate: 0})
+	for _, p := range clean {
+		if p.Noise {
+			t.Fatal("noise pair generated at NoiseRate 0")
+		}
+	}
+}
+
+func TestEveryIntentCovered(t *testing.T) {
+	kb, pairs := testWorld(t)
+	covered := make(map[string]bool)
+	for _, p := range pairs {
+		if !p.Noise {
+			covered[p.GoldCategory+"/"+p.GoldPath] = true
+		}
+	}
+	for _, it := range kb.Intents {
+		if !covered[it.Category+"/"+it.PathKey] {
+			t.Errorf("intent %s/%s not covered by corpus", it.Category, it.PathKey)
+		}
+	}
+}
+
+func TestNounPhraseFragments(t *testing.T) {
+	kb := kbgen.Generate(kbgen.Config{Seed: 42, Flavor: kbgen.Freebase, Scale: 30})
+	with := Generate(kb, Config{Seed: 1, PairsPerIntent: 10})
+	without := Generate(kb, Config{Seed: 1, PairsPerIntent: 10, ExcludeNounPhrases: true})
+	if len(with) <= len(without) {
+		t.Error("noun-phrase fragments missing")
+	}
+	found := false
+	for _, p := range with {
+		if strings.HasPrefix(strings.ToLower(p.Q), "the capital of") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error(`no "the capital of X" fragment generated`)
+	}
+}
+
+func TestQuestionsProjection(t *testing.T) {
+	_, pairs := testWorld(t)
+	qs := Questions(pairs)
+	if len(qs) != len(pairs) || qs[0] != pairs[0].Q {
+		t.Error("Questions projection wrong")
+	}
+}
+
+func TestGenerateWebDocs(t *testing.T) {
+	kb := kbgen.Generate(kbgen.Config{Seed: 42, Flavor: kbgen.Freebase, Scale: 30})
+	docs := GenerateWebDocs(kb, 3, 15)
+	if len(docs) == 0 {
+		t.Fatal("no web docs")
+	}
+	// Only direct predicates: no CVT phrasing leaks in.
+	for _, d := range docs {
+		if strings.Contains(d, "→") {
+			t.Errorf("web doc contains path notation: %q", d)
+		}
+	}
+	// Determinism.
+	again := GenerateWebDocs(kb, 3, 15)
+	for i := range docs {
+		if docs[i] != again[i] {
+			t.Fatal("web docs not deterministic")
+		}
+	}
+}
+
+func TestComposeComplex(t *testing.T) {
+	kb := kbgen.Generate(kbgen.Config{Seed: 42, Flavor: kbgen.Freebase, Scale: 30})
+	cps := ComposeComplex(kb, 9, 20)
+	if len(cps) < 10 {
+		t.Fatalf("composed only %d complex questions", len(cps))
+	}
+	for _, cp := range cps {
+		if len(cp.GoldAnswers) == 0 {
+			t.Errorf("complex question without gold answers: %q", cp.Q)
+		}
+		if cp.InnerPath == "" || cp.OuterPath == "" {
+			t.Errorf("missing gold paths: %+v", cp)
+		}
+		if !strings.HasSuffix(cp.Q, "?") {
+			t.Errorf("malformed question %q", cp.Q)
+		}
+		// The root entity's label must appear in the question.
+		eLabel := text.Normalize(kb.Store.Label(cp.GoldEntity))
+		if !strings.Contains(text.Normalize(cp.Q), eLabel) {
+			t.Errorf("question %q does not mention root entity %q", cp.Q, eLabel)
+		}
+	}
+}
+
+func TestComplexDeterministic(t *testing.T) {
+	kb := kbgen.Generate(kbgen.Config{Seed: 42, Flavor: kbgen.Freebase, Scale: 20})
+	a := ComposeComplex(kb, 4, 10)
+	b := ComposeComplex(kb, 4, 10)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic complex composition")
+	}
+	for i := range a {
+		if a[i].Q != b[i].Q {
+			t.Fatal("nondeterministic complex question")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package decompose implements complex-question decomposition (Sec 5):
+// splitting a question like "when was Barack Obama's wife born?" into a
+// sequence of binary factoid questions, by dynamic programming over token
+// spans (Algorithm 2) guided by answerability statistics estimated from the
+// QA corpus (Eq 26).
+package decompose
+
+import (
+	"strings"
+
+	"repro/internal/text"
+)
+
+// Hole is the entity-variable placeholder used in question patterns.
+const Hole = "$e"
+
+// Stats holds the corpus pattern statistics of Sec 5.2: for a question
+// pattern q̌ (a question with one substring replaced by $e), fo counts the
+// corpus questions matching the pattern and fv counts those whose replaced
+// substring is a valid entity mention. P(q̌) = fv/fo punishes
+// over-generalized patterns ("when $e?").
+type Stats struct {
+	fo map[string]int
+	fv map[string]int
+}
+
+// maxHoleTokens bounds the replaced-substring length during counting;
+// entity mentions never exceed it, and longer holes would only inflate fo
+// for patterns that can never be valid.
+const maxHoleTokens = 8
+
+// BuildStats scans the corpus questions once, enumerating every token span
+// of every question and counting pattern occurrences. isEntitySpan reports
+// whether the span is a valid entity mention of its question (in practice a
+// knowledge-base gazetteer check).
+func BuildStats(questions []string, isEntitySpan func(toks []string, sp text.Span) bool) *Stats {
+	s := &Stats{fo: make(map[string]int), fv: make(map[string]int)}
+	for _, q := range questions {
+		toks := text.Tokenize(q)
+		for i := 0; i < len(toks); i++ {
+			for j := i + 1; j <= len(toks) && j-i <= maxHoleTokens; j++ {
+				sp := text.Span{Start: i, End: j}
+				if sp.Len() == len(toks) {
+					continue // replacing everything is not a pattern
+				}
+				pat := text.Join(text.ReplaceSpan(toks, sp, Hole))
+				s.fo[pat]++
+				if isEntitySpan(toks, sp) {
+					s.fv[pat]++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// P returns P(q̌) = fv(q̌)/fo(q̌) (Eq 26); 0 when the pattern never occurs.
+func (s *Stats) P(pattern string) float64 {
+	fo := s.fo[pattern]
+	if fo == 0 {
+		return 0
+	}
+	return float64(s.fv[pattern]) / float64(fo)
+}
+
+// Counts exposes (fv, fo) for a pattern, for diagnostics and tests.
+func (s *Stats) Counts(pattern string) (fv, fo int) {
+	return s.fv[pattern], s.fo[pattern]
+}
+
+// NumPatterns returns the number of distinct patterns observed.
+func (s *Stats) NumPatterns() int { return len(s.fo) }
+
+// Decomposition is a valid question sequence A = (q̌_0, ..., q̌_k): the
+// first element is a concrete primitive BFQ; each later element contains
+// the $e variable to be bound to the previous answer (Sec 5.1).
+type Decomposition struct {
+	Sequence []string
+	P        float64
+}
+
+// IsComplex reports whether the decomposition has more than one step.
+func (d Decomposition) IsComplex() bool { return len(d.Sequence) > 1 }
+
+// Decomposer runs Algorithm 2. Primitive is the δ oracle: whether the
+// token span sp of the (full) question toks is a directly answerable BFQ —
+// in the full system, whether the online engine finds an entity and a
+// template with a known predicate for it. Receiving the full question
+// plus the span (rather than the bare substring) lets the oracle reject
+// spans without entity mentions in O(#mentions), which keeps the DP's
+// constant factor small.
+type Decomposer struct {
+	Stats     *Stats
+	Primitive func(toks []string, sp text.Span) bool
+	// MaxQuestionTokens guards the O(|q|^4) loop for pathological inputs;
+	// 0 means unbounded. (|q| < 23 for 99% of questions per Sec 5.3.)
+	MaxQuestionTokens int
+}
+
+// Decompose returns the maximum-probability valid decomposition of the
+// question, or ok=false when no valid decomposition exists (P(A) = 0 for
+// all A).
+func (d *Decomposer) Decompose(question string) (Decomposition, bool) {
+	toks := text.Tokenize(question)
+	if max := d.MaxQuestionTokens; max > 0 && len(toks) > max {
+		toks = toks[:max]
+	}
+	n := len(toks)
+	if n == 0 {
+		return Decomposition{}, false
+	}
+
+	type cell struct {
+		p   float64
+		seq []string
+	}
+	// memo[i][j] covers span [i, j). live lists spans with non-zero
+	// probability: only those can serve as nested questions, so the inner
+	// loop walks the (short) live list instead of all O(|q|^2) sub-spans.
+	memo := make([][]cell, n)
+	for i := range memo {
+		memo[i] = make([]cell, n+1)
+	}
+	var live []text.Span
+
+	// Ascending span length guarantees sub-solutions exist (Theorem 2's
+	// local optimality).
+	for length := 1; length <= n; length++ {
+		for i := 0; i+length <= n; i++ {
+			j := i + length
+			sub := toks[i:j]
+			best := cell{}
+			if d.Primitive(toks, text.Span{Start: i, End: j}) {
+				best = cell{p: 1, seq: []string{text.Join(sub)}}
+			}
+			// Try every live proper inner span as the nested question q_j.
+			// The hole is bounded like the counting side: longer holes can
+			// never have been counted valid.
+			span := text.Span{Start: i, End: j}
+			for _, inSp := range live {
+				if !span.Contains(inSp) || inSp == span || inSp.Len() > maxHoleTokens {
+					continue
+				}
+				inner := memo[inSp.Start][inSp.End]
+				pat := text.Join(text.ReplaceSpan(sub, text.Span{Start: inSp.Start - i, End: inSp.End - i}, Hole))
+				pr := d.Stats.P(pat) * inner.p
+				if pr > best.p {
+					seq := make([]string, 0, len(inner.seq)+1)
+					seq = append(seq, inner.seq...)
+					seq = append(seq, pat)
+					best = cell{p: pr, seq: seq}
+				}
+			}
+			memo[i][j] = best
+			if best.p > 0 {
+				live = append(live, span)
+			}
+		}
+	}
+
+	full := memo[0][n]
+	if full.p == 0 {
+		return Decomposition{}, false
+	}
+	return Decomposition{Sequence: full.seq, P: full.p}, true
+}
+
+// Bind substitutes an answer for the $e variable of a pattern, producing
+// the next concrete question of the sequence.
+func Bind(pattern, answer string) string {
+	return strings.Replace(pattern, Hole, text.Normalize(answer), 1)
+}

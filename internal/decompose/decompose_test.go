@@ -1,0 +1,221 @@
+package decompose
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/text"
+)
+
+// paperCorpus mirrors Table 3 / Example 4 of the paper.
+var paperCorpus = []string{
+	"When was Barack Obama born?",
+	"When was Barack Obama born?",
+	"How many people are there in Honolulu?",
+}
+
+func entityOracle(entities ...string) func(toks []string, sp text.Span) bool {
+	set := make(map[string]bool)
+	for _, e := range entities {
+		set[text.Normalize(e)] = true
+	}
+	return func(toks []string, sp text.Span) bool {
+		return set[text.Join(text.CutSpan(toks, sp))]
+	}
+}
+
+// TestExample4 reproduces the paper's Example 4: for q̌1 = "when was $e
+// born" we get fv = fo = 2 so P = 1; for q̌2 = "when $e" (which swallows
+// "was ... born"), fv = 0 so P = 0.
+func TestExample4(t *testing.T) {
+	stats := BuildStats(paperCorpus, entityOracle("Barack Obama", "Honolulu"))
+	if p := stats.P("when was $e born"); p != 1 {
+		fv, fo := stats.Counts("when was $e born")
+		t.Errorf("P(when was $e born) = %v (fv=%d fo=%d), want 1", p, fv, fo)
+	}
+	if fv, fo := stats.Counts("when was $e born"); fv != 2 || fo != 2 {
+		t.Errorf("counts = %d/%d, want 2/2", fv, fo)
+	}
+	if p := stats.P("when $e"); p != 0 {
+		t.Errorf("P(when $e) = %v, want 0", p)
+	}
+	if _, fo := stats.Counts("when $e"); fo != 2 {
+		t.Errorf("fo(when $e) = %d, want 2", fo)
+	}
+	if p := stats.P("never seen $e"); p != 0 {
+		t.Errorf("unseen pattern must have P=0, got %v", p)
+	}
+}
+
+func TestStatsFullSpanSkipped(t *testing.T) {
+	stats := BuildStats([]string{"Honolulu?"}, entityOracle("Honolulu"))
+	if _, fo := stats.Counts("$e"); fo != 0 {
+		t.Errorf("whole-question hole must not be counted, fo=%d", fo)
+	}
+}
+
+// decomposerForWife builds the Sec 5.1 scenario: corpus provides "when was
+// $e born" as a strong pattern and the primitive oracle accepts "barack
+// obama 's wife" (a BFQ the engine can answer) but not arbitrary strings.
+func decomposerForWife() *Decomposer {
+	corpus := []string{
+		"When was Barack Obama born?",
+		"When was Michelle Obama born?",
+		"When was Alden Thorne born?",
+		"Barack Obama's wife?",
+	}
+	oracle := entityOracle("Barack Obama", "Michelle Obama", "Alden Thorne")
+	stats := BuildStats(corpus, oracle)
+	primitives := map[string]bool{
+		"barack obama 's wife":       true,
+		"when was barack obama born": true,
+	}
+	return &Decomposer{
+		Stats: stats,
+		Primitive: func(toks []string, sp text.Span) bool {
+			return primitives[text.Join(text.CutSpan(toks, sp))]
+		},
+	}
+}
+
+// TestDecomposeWifeQuestion reproduces Example 3: the optimal decomposition
+// of "When was Barack Obama's wife born?" is
+// q̌0 = "barack obama 's wife", q̌1 = "when was $e born".
+func TestDecomposeWifeQuestion(t *testing.T) {
+	d := decomposerForWife()
+	dec, ok := d.Decompose("When was Barack Obama's wife born?")
+	if !ok {
+		t.Fatal("no decomposition found")
+	}
+	want := []string{"barack obama 's wife", "when was $e born"}
+	if !reflect.DeepEqual(dec.Sequence, want) {
+		t.Fatalf("sequence = %v, want %v", dec.Sequence, want)
+	}
+	if !dec.IsComplex() {
+		t.Error("IsComplex must be true")
+	}
+	if dec.P <= 0 || dec.P > 1 {
+		t.Errorf("P = %v out of range", dec.P)
+	}
+}
+
+func TestDecomposePrimitivePassThrough(t *testing.T) {
+	d := decomposerForWife()
+	dec, ok := d.Decompose("When was Barack Obama born?")
+	if !ok {
+		t.Fatal("no decomposition")
+	}
+	if dec.IsComplex() {
+		t.Fatalf("primitive question decomposed: %v", dec.Sequence)
+	}
+	if dec.P != 1 {
+		t.Errorf("primitive P = %v, want 1", dec.P)
+	}
+}
+
+func TestDecomposeUnanswerable(t *testing.T) {
+	d := decomposerForWife()
+	if _, ok := d.Decompose("what is the meaning of life?"); ok {
+		t.Error("unanswerable question decomposed")
+	}
+	if _, ok := d.Decompose(""); ok {
+		t.Error("empty question decomposed")
+	}
+}
+
+func TestBind(t *testing.T) {
+	got := Bind("when was $e born", "Michelle Obama")
+	if got != "when was michelle obama born" {
+		t.Errorf("Bind = %q", got)
+	}
+	// Only the first hole is bound.
+	if got := Bind("$e and $e", "x"); got != "x and $e" {
+		t.Errorf("Bind multiple = %q", got)
+	}
+}
+
+// bruteForce enumerates all decompositions recursively to verify the DP's
+// optimality (Theorem 2).
+func bruteForce(d *Decomposer, toks []string) (float64, []string) {
+	bestP, bestSeq := 0.0, []string(nil)
+	if d.Primitive(toks, text.Span{Start: 0, End: len(toks)}) {
+		bestP, bestSeq = 1, []string{text.Join(toks)}
+	}
+	for a := 0; a < len(toks); a++ {
+		for b := a + 1; b <= len(toks); b++ {
+			if a == 0 && b == len(toks) {
+				continue
+			}
+			innerP, innerSeq := bruteForce(d, toks[a:b])
+			if innerP == 0 {
+				continue
+			}
+			pat := text.Join(text.ReplaceSpan(toks, text.Span{Start: a, End: b}, Hole))
+			p := d.Stats.P(pat) * innerP
+			if p > bestP {
+				bestP = p
+				bestSeq = append(append([]string{}, innerSeq...), pat)
+			}
+		}
+	}
+	return bestP, bestSeq
+}
+
+// TestDPMatchesBruteForce checks the DP against exhaustive search on every
+// prefix of several questions (the local-optimality property).
+func TestDPMatchesBruteForce(t *testing.T) {
+	d := decomposerForWife()
+	questions := []string{
+		"When was Barack Obama's wife born?",
+		"When was Barack Obama born?",
+		"barack obama 's wife",
+		"completely unrelated words here",
+	}
+	for _, q := range questions {
+		toks := text.Tokenize(q)
+		wantP, _ := bruteForce(d, toks)
+		dec, ok := d.Decompose(q)
+		gotP := 0.0
+		if ok {
+			gotP = dec.P
+		}
+		if gotP != wantP {
+			t.Errorf("DP P=%v, brute force P=%v for %q", gotP, wantP, q)
+		}
+	}
+}
+
+func TestOverGeneralizedPatternPunished(t *testing.T) {
+	// "when $e" matches both corpus questions but never validly; the DP
+	// must prefer the tighter "when was $e born".
+	corpus := []string{
+		"When was Barack Obama born?",
+		"When was Michelle Obama born?",
+	}
+	oracle := entityOracle("Barack Obama", "Michelle Obama")
+	stats := BuildStats(corpus, oracle)
+	if stats.P("when $e") >= stats.P("when was $e born") {
+		t.Errorf("over-generalized pattern not punished: %v vs %v",
+			stats.P("when $e"), stats.P("when was $e born"))
+	}
+}
+
+func TestMaxQuestionTokens(t *testing.T) {
+	d := decomposerForWife()
+	d.MaxQuestionTokens = 5
+	long := "When was Barack Obama born " + strings.Repeat("blah ", 50) + "?"
+	// Must terminate quickly and operate on the truncated prefix.
+	if dec, ok := d.Decompose(long); ok {
+		if len(dec.Sequence) == 0 {
+			t.Error("empty sequence")
+		}
+	}
+}
+
+func TestNumPatterns(t *testing.T) {
+	stats := BuildStats(paperCorpus, entityOracle("Barack Obama", "Honolulu"))
+	if stats.NumPatterns() == 0 {
+		t.Error("no patterns counted")
+	}
+}

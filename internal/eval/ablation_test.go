@@ -1,0 +1,91 @@
+package eval
+
+import "testing"
+
+// TestAblationRefinement asserts the Sec 4.1.1 claim: answer-type
+// refinement filters noisy entity-value pairs, improving the learned
+// mapping's precision while shrinking the observation set.
+func TestAblationRefinement(t *testing.T) {
+	s := sharedSuite(t)
+	rows := s.AblationRefinement()
+	on, off := rows[0], rows[1]
+	if on.Observations >= off.Observations {
+		t.Errorf("refinement must remove observations: on=%d off=%d", on.Observations, off.Observations)
+	}
+	if on.P() < off.P() {
+		t.Errorf("refinement must not hurt precision: on=%.3f off=%.3f", on.P(), off.P())
+	}
+	if on.P() < 0.9 {
+		t.Errorf("refined precision %.3f below 0.9", on.P())
+	}
+}
+
+// TestAblationContext asserts that context-aware conceptualization
+// dominates the prior-only variant on ambiguous surface forms (the
+// apple→$company motivation of Sec 1.3).
+func TestAblationContext(t *testing.T) {
+	s := sharedSuite(t)
+	rows := s.AblationContext()
+	ctx, prior := rows[0], rows[1]
+	if ctx.N == 0 {
+		t.Fatal("no ambiguous trials")
+	}
+	if ctx.Right <= prior.Right {
+		t.Errorf("context-aware %d/%d must beat prior-only %d/%d",
+			ctx.Right, ctx.N, prior.Right, prior.N)
+	}
+	if float64(ctx.Right)/float64(ctx.N) < 0.85 {
+		t.Errorf("context disambiguation %.2f below 0.85", float64(ctx.Right)/float64(ctx.N))
+	}
+}
+
+// TestAblationEMvsCount: both estimators must produce high-precision
+// mappings on this corpus; EM's advantage is robustness, not raw precision
+// in the low-noise regime (see EXPERIMENTS.md).
+func TestAblationEMvsCount(t *testing.T) {
+	s := sharedSuite(t)
+	rows := s.AblationEMvsCount()
+	for _, r := range rows {
+		if r.P() < 0.9 {
+			t.Errorf("%s precision %.3f below 0.9", r.Config, r.P())
+		}
+		if r.JudgedN == 0 {
+			t.Errorf("%s judged nothing", r.Config)
+		}
+	}
+}
+
+// TestAblationReductionOnS: the reduced run must emit a subset of the full
+// run's triples at identical scan cost structure.
+func TestAblationReductionOnS(t *testing.T) {
+	s := sharedSuite(t)
+	rows := s.AblationReductionOnS()
+	red, all := rows[0], rows[1]
+	if red.Sources >= all.Sources {
+		t.Errorf("reduction must use fewer sources: %d vs %d", red.Sources, all.Sources)
+	}
+	if red.Triples > all.Triples {
+		t.Errorf("reduced run emitted more triples (%d) than full (%d)", red.Triples, all.Triples)
+	}
+}
+
+func TestAblationTextRenders(t *testing.T) {
+	s := sharedSuite(t)
+	out := s.AblationText()
+	for _, want := range []string{"EM vs counting", "refinement", "context", "reduction-on-s"} {
+		if !contains(out, want) {
+			t.Errorf("ablation text missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

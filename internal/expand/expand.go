@@ -1,0 +1,178 @@
+// Package expand implements predicate expansion (Sec 6): generating the
+// (s, p+, o) triples for expanded predicates up to length k with the
+// paper's memory-efficient multi-source BFS, and selecting k with the
+// Infobox-based valid(k) statistic (Sec 6.3, Table 4).
+//
+// The BFS mirrors the disk-based algorithm of Sec 6.2 structurally: k
+// rounds, each a full scan of the knowledge base's triples joined (via a
+// hash index) against the frontier produced by the previous round. The
+// "reduction on s" optimization — starting only from entities that occur
+// in the QA corpus — is exposed through Config.Sources.
+package expand
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// SPO is one expanded triple (s, p+, o).
+type SPO struct {
+	S    rdf.ID
+	Path rdf.Path
+	O    rdf.ID
+}
+
+// Config controls expansion.
+type Config struct {
+	// MaxLen is k, the maximum path length (the paper selects 3).
+	MaxLen int
+	// Sources restricts BFS start nodes (the reduction-on-s optimization).
+	// Nil means every entity in the store.
+	Sources []rdf.ID
+	// EndFilter accepts the final predicate of any path of length >= 2
+	// (the end-with-name rule). Nil accepts everything.
+	EndFilter func(rdf.PID) bool
+	// KeepAllLengths emits (s, p+, o) for every length <= MaxLen; when
+	// false only complete paths are still emitted per length (the default
+	// behaviour emits all lengths — this flag exists for symmetry and is
+	// currently always treated as true).
+	KeepAllLengths bool
+}
+
+// Result is the output of Expand.
+type Result struct {
+	// Triples are the expanded (s, p+, o) triples, deterministic order.
+	Triples []SPO
+	// ByLength counts emitted triples per path length.
+	ByLength map[int]int
+	// Scans is the number of full knowledge-base scans performed (k).
+	Scans int
+	// Scanned is the total number of base triples visited across scans,
+	// the dominant cost term O(k·|K|) of Sec 6.2.
+	Scanned int
+}
+
+// frontierEntry is a partial path ending at a node.
+type frontierEntry struct {
+	src  rdf.ID
+	path rdf.Path
+}
+
+// Expand runs the k-round scan+join BFS.
+func Expand(s *rdf.Store, cfg Config) *Result {
+	if cfg.MaxLen <= 0 {
+		cfg.MaxLen = 1
+	}
+	sources := cfg.Sources
+	if sources == nil {
+		sources = s.Entities()
+	}
+
+	res := &Result{ByLength: make(map[int]int)}
+
+	// frontier maps a node to the partial paths arriving at it. Round 1's
+	// frontier is the source set with empty paths (this is the "load all
+	// entities occurring in the QA corpus into memory and build the hash
+	// index on S0" step).
+	frontier := make(map[rdf.ID][]frontierEntry, len(sources))
+	for _, e := range sources {
+		frontier[e] = append(frontier[e], frontierEntry{src: e})
+	}
+
+	for round := 1; round <= cfg.MaxLen && len(frontier) > 0; round++ {
+		res.Scans++
+		next := make(map[rdf.ID][]frontierEntry)
+		// One full scan of the knowledge base, joining subjects against
+		// the frontier index.
+		s.Triples(func(t rdf.Triple) {
+			res.Scanned++
+			entries, ok := frontier[t.S]
+			if !ok {
+				return
+			}
+			for _, fe := range entries {
+				path := append(append(rdf.Path{}, fe.path...), t.P)
+				if len(path) == 1 || cfg.EndFilter == nil || cfg.EndFilter(t.P) {
+					res.Triples = append(res.Triples, SPO{S: fe.src, Path: path, O: t.O})
+					res.ByLength[len(path)]++
+				}
+				if s.KindOf(t.O) != rdf.KindLiteral && round < cfg.MaxLen {
+					next[t.O] = append(next[t.O], frontierEntry{src: fe.src, path: path})
+				}
+			}
+		})
+		frontier = next
+	}
+	return res
+}
+
+// DistinctPaths returns the distinct expanded predicates of the result,
+// sorted by their key, optionally restricted to a single length (0 = all).
+func (r *Result) DistinctPaths(s *rdf.Store, length int) []string {
+	set := make(map[string]bool)
+	for _, t := range r.Triples {
+		if length != 0 && len(t.Path) != length {
+			continue
+		}
+		set[s.Key(t.Path)] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup answers "is v reachable from e through path" questions over the
+// materialized result set; used by tests to cross-check against the
+// store's online traversal.
+func (r *Result) Lookup(s *rdf.Store, subj rdf.ID, pathKey string) []rdf.ID {
+	var out []rdf.ID
+	for _, t := range r.Triples {
+		if t.S == subj && s.Key(t.Path) == pathKey {
+			out = append(out, t.O)
+		}
+	}
+	return out
+}
+
+// Meaningful reports, per the Infobox criterion of Sec 6.3, whether an
+// expanded triple has ground-truth support. It is injected as a function so
+// the package does not depend on the infobox implementation.
+type Meaningful func(s rdf.ID, valueLabel string) bool
+
+// ValidK computes valid(k) of Eq (29): the number of expanded triples of
+// length exactly k, starting from the given (top-frequency) entities, whose
+// (subject, value) pair the infobox supports.
+func ValidK(s *rdf.Store, entities []rdf.ID, k int, endFilter func(rdf.PID) bool, has Meaningful) int {
+	res := Expand(s, Config{MaxLen: k, Sources: entities, EndFilter: endFilter})
+	n := 0
+	for _, t := range res.Triples {
+		if len(t.Path) != k {
+			continue
+		}
+		if has(t.S, s.Label(t.O)) {
+			n++
+		}
+	}
+	return n
+}
+
+// TopEntitiesByFrequency returns the n entities with the highest out-degree
+// (the paper's trustworthy-entity sampling for valid(k)).
+func TopEntitiesByFrequency(s *rdf.Store, n int) []rdf.ID {
+	ents := s.Entities()
+	sort.Slice(ents, func(i, j int) bool {
+		di, dj := s.OutDegree(ents[i]), s.OutDegree(ents[j])
+		if di != dj {
+			return di > dj
+		}
+		return ents[i] < ents[j]
+	})
+	if n > len(ents) {
+		n = len(ents)
+	}
+	return ents[:n]
+}

@@ -1,0 +1,239 @@
+package kbgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Name material for the deterministic generators. All surface forms are
+// synthetic so that no accidental overlap with real-world knowledge can
+// leak into the evaluation.
+
+var firstNames = []string{
+	"alden", "brena", "cassio", "delia", "edwin", "farah", "gideon", "hana",
+	"ivor", "jolene", "kasper", "liora", "marek", "nadia", "orin", "petra",
+	"quill", "rosalind", "stellan", "tamsin", "ulric", "vesna", "wendel",
+	"xenia", "yorick", "zelda", "ansel", "brigid", "corwin", "dara",
+}
+
+var lastNames = []string{
+	"ashford", "blackwood", "calloway", "draven", "ellsworth", "fairbanks",
+	"greaves", "hollis", "ingram", "jessup", "kendrick", "lockhart",
+	"merriweather", "northgate", "oakhurst", "pemberton", "quimby",
+	"ravenscroft", "sutherland", "thorne", "underhill", "vance", "whitlock",
+	"yates", "zimmer", "barlow", "crane", "duffield", "everhart", "finch",
+}
+
+var cityStems = []string{
+	"alder", "bram", "crest", "dun", "elm", "fal", "gor", "hart", "iron",
+	"kel", "lor", "mar", "nor", "oak", "pell", "quar", "rill", "stone",
+	"thorn", "ulm", "vane", "wick", "yar", "zeph", "brook", "clay", "dell",
+	"fern", "glen", "hazel",
+}
+
+var citySuffixes = []string{"field", "haven", "burg", "ton", "ford", "dale", "mouth", "wick", "stead", "moor"}
+
+var countryStems = []string{
+	"aldov", "bordur", "cartag", "dravon", "elbon", "frelon", "galdor",
+	"hestov", "illyr", "jarvun", "kestrel", "lumen", "morvan", "nerid",
+	"ostrav", "pavon", "quessir", "rovan", "syldav", "tervan",
+}
+
+var countrySuffixes = []string{"ia", "land", "mark", "stan", "onia"}
+
+var companyStems = []string{
+	"acu", "bryte", "cindr", "dyna", "ecto", "flux", "grav", "helio",
+	"iono", "jet", "kryo", "lumo", "magna", "nexa", "opti", "pyra",
+	"quanta", "rotor", "strato", "tessa",
+}
+
+var companySuffixes = []string{"corp", "soft", "works", "labs", "dyne", "systems", "tech", "industries"}
+
+var adjectives = []string{
+	"crimson", "silent", "golden", "hollow", "emerald", "wandering",
+	"forgotten", "iron", "silver", "burning", "frozen", "distant",
+	"endless", "hidden", "broken", "radiant", "shattered", "velvet",
+	"amber", "sapphire",
+}
+
+var nouns = []string{
+	"foxes", "rivers", "echo", "harbor", "lantern", "meadow", "compass",
+	"ember", "willow", "falcon", "voyage", "garden", "mirror", "anthem",
+	"horizon", "beacon", "orchard", "sparrow", "citadel", "tide",
+}
+
+var genres = []string{"rock", "jazz", "folk", "electronic", "blues", "indie", "classical", "punk"}
+
+var currencies = []string{"crown", "mark", "florin", "talon", "shilling", "ducat", "penna", "orin"}
+
+var instruments = []string{"guitar", "drums", "piano", "violin", "bass", "saxophone", "cello", "flute"}
+
+var nutrients = []string{
+	"vitamin a", "vitamin b", "vitamin c", "vitamin d", "vitamin e",
+	"vitamin k", "iron", "calcium", "zinc", "magnesium", "potassium",
+	"fiber", "protein", "folate",
+}
+
+var foods = []string{
+	"sunberry", "glowfruit", "marshroot", "pellnut", "dunegrain",
+	"frostmelon", "embercorn", "hollowbean", "brightleaf", "stonefruit",
+	"mistweed", "goldenoat", "riverkelp", "novaberry", "shadecress",
+	"tidegrass", "palegourd", "wickroot", "ashplum", "veilcherry",
+}
+
+// ambiguousLabels are surface forms deliberately assigned to one entity in
+// each of two different categories, reproducing the entity-linking
+// ambiguity ("apple": $fruit vs $company) that motivates probabilistic
+// conceptualization.
+var ambiguousLabels = []struct {
+	label string
+	catA  string
+	catB  string
+}{
+	{"paris", "city", "person"},
+	{"phoenix", "city", "band"},
+	{"jordan", "country", "person"},
+	{"victoria", "city", "person"},
+	{"sterling", "company", "person"},
+	{"aurora", "city", "film"},
+	{"orion", "company", "game"},
+	{"juniper", "food", "person"},
+}
+
+// nameGen deterministically produces unique names per category.
+type nameGen struct {
+	r    *rand.Rand
+	used map[string]bool
+}
+
+func newNameGen(r *rand.Rand) *nameGen {
+	return &nameGen{r: r, used: make(map[string]bool)}
+}
+
+// fresh draws names from gen until an unused one appears, guaranteeing
+// label uniqueness except where ambiguity is injected explicitly.
+func (g *nameGen) fresh(gen func() string) string {
+	for i := 0; i < 1000; i++ {
+		n := gen()
+		if !g.used[n] {
+			g.used[n] = true
+			return n
+		}
+	}
+	// Fall back to a numbered name; unreachable in practice but total.
+	for i := 0; ; i++ {
+		n := fmt.Sprintf("%s %d", gen(), i)
+		if !g.used[n] {
+			g.used[n] = true
+			return n
+		}
+	}
+}
+
+func pick(r *rand.Rand, xs []string) string { return xs[r.Intn(len(xs))] }
+
+func (g *nameGen) person() string {
+	return g.fresh(func() string { return pick(g.r, firstNames) + " " + pick(g.r, lastNames) })
+}
+
+func (g *nameGen) city() string {
+	return g.fresh(func() string { return pick(g.r, cityStems) + pick(g.r, citySuffixes) })
+}
+
+func (g *nameGen) country() string {
+	return g.fresh(func() string { return pick(g.r, countryStems) + pick(g.r, countrySuffixes) })
+}
+
+func (g *nameGen) company() string {
+	return g.fresh(func() string { return pick(g.r, companyStems) + pick(g.r, companySuffixes) })
+}
+
+func (g *nameGen) band() string {
+	return g.fresh(func() string { return "the " + pick(g.r, adjectives) + " " + pick(g.r, nouns) })
+}
+
+func (g *nameGen) titled() string { // books, films
+	return g.fresh(func() string { return "the " + pick(g.r, adjectives) + " " + pick(g.r, nouns) })
+}
+
+func (g *nameGen) river() string {
+	return g.fresh(func() string { return pick(g.r, cityStems) + " river" })
+}
+
+func (g *nameGen) mountain() string {
+	return g.fresh(func() string { return "mount " + pick(g.r, countryStems) })
+}
+
+func (g *nameGen) university() string {
+	return g.fresh(func() string { return pick(g.r, cityStems) + pick(g.r, citySuffixes) + " university" })
+}
+
+func (g *nameGen) game() string {
+	return g.fresh(func() string {
+		return pick(g.r, nouns) + " " + pick(g.r, []string{"quest", "saga", "legends", "tactics"})
+	})
+}
+
+func (g *nameGen) organization() string {
+	return g.fresh(func() string {
+		return pick(g.r, []string{"union", "federation", "league", "council"}) + " of " + pick(g.r, nouns)
+	})
+}
+
+func (g *nameGen) food() string {
+	return g.fresh(func() string { return pick(g.r, foods) })
+}
+
+func (g *nameGen) song() string {
+	return g.fresh(func() string { return pick(g.r, adjectives) + " " + pick(g.r, nouns) + " theme" })
+}
+
+// forCategory dispatches to the category's name generator.
+func (g *nameGen) forCategory(cat string) string {
+	switch cat {
+	case "person":
+		return g.person()
+	case "city":
+		return g.city()
+	case "country":
+		return g.country()
+	case "company":
+		return g.company()
+	case "band":
+		return g.band()
+	case "book", "film":
+		return g.titled()
+	case "river":
+		return g.river()
+	case "mountain":
+		return g.mountain()
+	case "university":
+		return g.university()
+	case "game":
+		return g.game()
+	case "organization":
+		return g.organization()
+	case "food":
+		return g.food()
+	default:
+		return g.fresh(func() string { return cat + " " + pick(g.r, nouns) })
+	}
+}
+
+// aliasOf derives an alias surface form (used by the alias predicate of
+// Table 18's organization_members→member→alias).
+func aliasOf(label string) string {
+	fields := strings.Fields(label)
+	if len(fields) == 1 {
+		return label + " the great"
+	}
+	// Initialism of all but the last word plus the last word: "a. kendrick".
+	var b strings.Builder
+	for _, f := range fields[:len(fields)-1] {
+		b.WriteByte(f[0])
+		b.WriteString(". ")
+	}
+	b.WriteString(fields[len(fields)-1])
+	return b.String()
+}

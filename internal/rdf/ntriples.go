@@ -1,0 +1,180 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/url"
+	"strings"
+)
+
+// N-Triples-style serialization. The dialect is standard line-oriented
+// `<subject> <predicate> object .` with two departures needed for
+// round-trip fidelity:
+//
+//   - node IRIs carry the node id, kind and escaped label
+//     (`<e/42/barack%20obama>`), because entity surface forms are
+//     deliberately ambiguous and the id is what keeps two "springfield"s
+//     apart across a save/load cycle;
+//   - literals are plain quoted strings and are re-interned on load.
+//
+// Nodes that participate in no triple are not serialized; every generated
+// knowledge base gives each entity at least a name fact, so nothing is
+// lost in practice.
+
+// WriteNTriples serializes every triple of the store.
+func (s *Store) WriteNTriples(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	s.Triples(func(t Triple) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "%s <%s> %s .\n",
+			s.nodeRef(t.S), escapeIRI(s.predNames[t.P]), s.objectRef(t.O))
+	})
+	if err != nil {
+		return fmt.Errorf("rdf: write ntriples: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("rdf: write ntriples: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) nodeRef(id ID) string {
+	kind := "e"
+	if s.kinds[id] == KindMediator {
+		kind = "m"
+	}
+	return fmt.Sprintf("<%s/%d/%s>", kind, id, escapeIRI(s.labels[id]))
+}
+
+func (s *Store) objectRef(id ID) string {
+	if s.kinds[id] == KindLiteral {
+		return fmt.Sprintf("%q", s.labels[id])
+	}
+	return s.nodeRef(id)
+}
+
+func escapeIRI(label string) string { return url.PathEscape(label) }
+
+// ReadNTriples parses a serialization produced by WriteNTriples into a new
+// store. Node identity (including deliberate label ambiguity) is preserved;
+// fresh ids are assigned.
+func ReadNTriples(r io.Reader) (*Store, error) {
+	s := NewStore()
+	nodes := make(map[string]ID) // old "kind/id" -> new id
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		subj, rest, ok := cutToken(line)
+		if !ok {
+			return nil, fmt.Errorf("rdf: line %d: missing subject", lineNo)
+		}
+		pred, rest, ok := cutToken(rest)
+		if !ok {
+			return nil, fmt.Errorf("rdf: line %d: missing predicate", lineNo)
+		}
+		obj := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "."))
+
+		sID, err := s.resolveNode(nodes, subj)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		pName, err := parseIRI(pred)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		var oID ID
+		if strings.HasPrefix(obj, `"`) {
+			lit, err := unquote(obj)
+			if err != nil {
+				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			}
+			oID = s.Literal(lit)
+		} else {
+			oID, err = s.resolveNode(nodes, obj)
+			if err != nil {
+				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			}
+		}
+		s.Add(sID, s.Pred(pName), oID)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: read ntriples: %w", err)
+	}
+	return s, nil
+}
+
+// resolveNode maps a `<kind/id/label>` reference to a node in the new
+// store, creating it on first sight.
+func (s *Store) resolveNode(nodes map[string]ID, ref string) (ID, error) {
+	body, err := parseIRI(ref)
+	if err != nil {
+		return 0, err
+	}
+	parts := strings.SplitN(body, "/", 3)
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("malformed node reference %q", ref)
+	}
+	key := parts[0] + "/" + parts[1]
+	if id, ok := nodes[key]; ok {
+		return id, nil
+	}
+	label, err := url.PathUnescape(parts[2])
+	if err != nil {
+		return 0, fmt.Errorf("bad label escaping in %q: %w", ref, err)
+	}
+	var id ID
+	switch parts[0] {
+	case "e":
+		id = s.NewAmbiguousEntity(label)
+	case "m":
+		id = s.Mediator(label)
+	default:
+		return 0, fmt.Errorf("unknown node kind %q in %q", parts[0], ref)
+	}
+	nodes[key] = id
+	return id, nil
+}
+
+func parseIRI(tok string) (string, error) {
+	if !strings.HasPrefix(tok, "<") || !strings.HasSuffix(tok, ">") {
+		return "", fmt.Errorf("expected <...>, got %q", tok)
+	}
+	body, err := url.PathUnescape(tok[1 : len(tok)-1])
+	if err != nil {
+		return "", fmt.Errorf("bad IRI escaping in %q: %w", tok, err)
+	}
+	return body, nil
+}
+
+func unquote(tok string) (string, error) {
+	if len(tok) < 2 || !strings.HasPrefix(tok, `"`) || !strings.HasSuffix(tok, `"`) {
+		return "", fmt.Errorf("malformed literal %q", tok)
+	}
+	// fmt's %q escaping is Go syntax; undo the common escapes.
+	inner := tok[1 : len(tok)-1]
+	inner = strings.ReplaceAll(inner, `\"`, `"`)
+	inner = strings.ReplaceAll(inner, `\\`, `\`)
+	return inner, nil
+}
+
+// cutToken splits off the first whitespace-delimited token, honouring that
+// IRIs contain no spaces (labels are escaped) and literals are last on the
+// line.
+func cutToken(line string) (tok, rest string, ok bool) {
+	line = strings.TrimSpace(line)
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return "", "", false
+	}
+	return line[:i], line[i+1:], true
+}

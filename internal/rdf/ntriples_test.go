@@ -1,0 +1,127 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	s, ids := buildToyKB(t)
+	var buf bytes.Buffer
+	if err := s.WriteNTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumTriples() != s.NumTriples() {
+		t.Fatalf("triples %d != %d", s2.NumTriples(), s.NumTriples())
+	}
+	if s2.NumPredicates() != s.NumPredicates() {
+		t.Fatalf("predicates %d != %d", s2.NumPredicates(), s.NumPredicates())
+	}
+	// Semantic checks across the round trip.
+	a2 := s2.EntitiesByLabel("Barack Obama")
+	if len(a2) != 1 {
+		t.Fatalf("entity lookup after round trip: %v", a2)
+	}
+	dob, ok := s2.PredID("dob")
+	if !ok {
+		t.Fatal("dob predicate lost")
+	}
+	objs := s2.Objects(a2[0], dob)
+	if len(objs) != 1 || s2.Label(objs[0]) != "1961" {
+		t.Fatalf("dob lookup = %v", objs)
+	}
+	// Expanded path still works (mediator preserved as a mediator).
+	path, ok := s2.ParsePath("marriage→person→name")
+	if !ok {
+		t.Fatal("path predicates lost")
+	}
+	spouse := s2.PathObjects(a2[0], path)
+	if len(spouse) != 1 || s2.Label(spouse[0]) != "Michelle Obama" {
+		t.Fatalf("spouse after round trip = %v", spouse)
+	}
+	_ = ids
+}
+
+func TestNTriplesPreservesAmbiguity(t *testing.T) {
+	s := NewStore()
+	e1 := s.NewAmbiguousEntity("springfield")
+	e2 := s.NewAmbiguousEntity("springfield")
+	p := s.Pred("population")
+	s.Add(e1, p, s.Literal("100k"))
+	s.Add(e2, p, s.Literal("200k"))
+
+	var buf bytes.Buffer
+	if err := s.WriteNTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents := s2.EntitiesByLabel("springfield")
+	if len(ents) != 2 {
+		t.Fatalf("ambiguity lost: %d entities", len(ents))
+	}
+	p2, _ := s2.PredID("population")
+	values := map[string]bool{}
+	for _, e := range ents {
+		for _, o := range s2.Objects(e, p2) {
+			values[s2.Label(o)] = true
+		}
+	}
+	if !values["100k"] || !values["200k"] {
+		t.Fatalf("values lost: %v", values)
+	}
+}
+
+func TestNTriplesEscaping(t *testing.T) {
+	s := NewStore()
+	e := s.Entity(`weird "name" with spaces`)
+	s.Add(e, s.Pred("note"), s.Literal(`a "quoted" literal with \ backslash`))
+	var buf bytes.Buffer
+	if err := s.WriteNTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s2.EntitiesByLabel(`weird "name" with spaces`)
+	if len(got) != 1 {
+		t.Fatalf("escaped entity lost: %v", got)
+	}
+	note, _ := s2.PredID("note")
+	objs := s2.Objects(got[0], note)
+	if len(objs) != 1 || s2.Label(objs[0]) != `a "quoted" literal with \ backslash` {
+		t.Fatalf("literal = %q", s2.Label(objs[0]))
+	}
+}
+
+func TestReadNTriplesErrors(t *testing.T) {
+	cases := []string{
+		"<e/0/x .",                    // missing predicate
+		"nonsense",                    // no tokens
+		"<x/0/a> <p> <e/1/b> .",       // unknown node kind
+		`<e/0/a> <p> "unterminated .`, // bad literal
+		"<e/0%ZZ/a> <p> \"x\" .",      // bad escaping
+		"<e/0> <p> \"x\" .",           // malformed node ref
+	}
+	for _, c := range cases {
+		if _, err := ReadNTriples(strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+	// Blank lines and comments are fine.
+	s, err := ReadNTriples(strings.NewReader("\n# comment\n<e/0/a> <p> \"x\" .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTriples() != 1 {
+		t.Fatalf("triples = %d", s.NumTriples())
+	}
+}

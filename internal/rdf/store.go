@@ -1,0 +1,428 @@
+// Package rdf implements the RDF knowledge-base substrate KBQA runs on: an
+// in-memory triple store with hash indexes over all three access paths the
+// system needs (S→P→O for value lookup, P→O→S for reverse lookup, S→O→P for
+// predicate discovery between an entity and a candidate value).
+//
+// The store plays the role of Trinity.RDF in the paper (Sec 7.1). KBQA's
+// algorithms only touch the knowledge base through V(e,p), "which predicates
+// connect e and v", and bounded path traversal, all of which are provided
+// here with O(1) index lookups so the online O(|P|) complexity claim of
+// Sec 3.3 is preserved.
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/text"
+)
+
+// ID identifies a node (entity, mediator, or literal) in the store.
+type ID int32
+
+// PID identifies a predicate.
+type PID int32
+
+// Kind classifies a node.
+type Kind uint8
+
+const (
+	// KindEntity is a named first-class entity (has a surface form users
+	// mention in questions).
+	KindEntity Kind = iota
+	// KindMediator is an anonymous intermediate node of a multi-edge
+	// structure (Freebase CVT-style), e.g. the marriage node in
+	// name -marriage-> m -person-> b. Mediators never answer questions and
+	// never appear in them.
+	KindMediator
+	// KindLiteral is a value node: a number, date, or name string.
+	KindLiteral
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEntity:
+		return "entity"
+	case KindMediator:
+		return "mediator"
+	case KindLiteral:
+		return "literal"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Triple is one (subject, predicate, object) fact.
+type Triple struct {
+	S ID
+	P PID
+	O ID
+}
+
+// Store is an in-memory indexed RDF knowledge base. The zero value is not
+// usable; construct with NewStore.
+type Store struct {
+	labels []string // node ID -> surface label
+	kinds  []Kind   // node ID -> kind
+
+	predNames []string       // PID -> name
+	predIDs   map[string]PID // name -> PID
+
+	// byLabel maps a normalized label to all nodes carrying it. Entity
+	// names are deliberately allowed to be ambiguous (several nodes, one
+	// label) — entity linking uncertainty is a core motivation for the
+	// paper's probabilistic model.
+	byLabel map[string][]ID
+
+	litIDs map[string]ID // interned literals: normalized label -> node
+
+	spo map[ID]map[PID][]ID
+	pos map[PID]map[ID][]ID
+	so  map[ID]map[ID][]PID
+
+	triples int
+}
+
+// NewStore returns an empty knowledge base.
+func NewStore() *Store {
+	return &Store{
+		predIDs: make(map[string]PID),
+		byLabel: make(map[string][]ID),
+		litIDs:  make(map[string]ID),
+		spo:     make(map[ID]map[PID][]ID),
+		pos:     make(map[PID]map[ID][]ID),
+		so:      make(map[ID]map[ID][]PID),
+	}
+}
+
+func (s *Store) newNode(label string, kind Kind) ID {
+	id := ID(len(s.labels))
+	s.labels = append(s.labels, label)
+	s.kinds = append(s.kinds, kind)
+	key := text.Normalize(label)
+	if key != "" {
+		s.byLabel[key] = append(s.byLabel[key], id)
+	}
+	return id
+}
+
+// Entity returns the node for the named entity, creating it on first use.
+// Repeated calls with the same (normalized) label return the same node.
+func (s *Store) Entity(label string) ID {
+	key := text.Normalize(label)
+	for _, id := range s.byLabel[key] {
+		if s.kinds[id] == KindEntity {
+			return id
+		}
+	}
+	return s.newNode(label, KindEntity)
+}
+
+// NewAmbiguousEntity always creates a fresh entity node with the given
+// label, even when other entities already carry it. This is how the
+// synthetic KB reproduces surface-form ambiguity (two "Springfield"s).
+func (s *Store) NewAmbiguousEntity(label string) ID {
+	return s.newNode(label, KindEntity)
+}
+
+// Mediator creates a fresh anonymous structure node. The label is only used
+// for debugging output.
+func (s *Store) Mediator(label string) ID {
+	return s.newNode(label, KindMediator)
+}
+
+// Literal returns the interned node for a literal value.
+func (s *Store) Literal(label string) ID {
+	key := text.Normalize(label)
+	if id, ok := s.litIDs[key]; ok {
+		return id
+	}
+	id := s.newNode(label, KindLiteral)
+	s.litIDs[key] = id
+	return id
+}
+
+// Pred interns a predicate name and returns its PID.
+func (s *Store) Pred(name string) PID {
+	if id, ok := s.predIDs[name]; ok {
+		return id
+	}
+	id := PID(len(s.predNames))
+	s.predNames = append(s.predNames, name)
+	s.predIDs[name] = id
+	return id
+}
+
+// PredID looks up an existing predicate by name.
+func (s *Store) PredID(name string) (PID, bool) {
+	id, ok := s.predIDs[name]
+	return id, ok
+}
+
+// PredName returns the name of p. It panics on an unknown PID: predicate IDs
+// only ever come from this store, so an unknown one is a bug.
+func (s *Store) PredName(p PID) string {
+	return s.predNames[p]
+}
+
+// Label returns the surface label of a node.
+func (s *Store) Label(id ID) string { return s.labels[id] }
+
+// KindOf returns the node kind.
+func (s *Store) KindOf(id ID) Kind { return s.kinds[id] }
+
+// Add records the triple (subj, pred, obj). Duplicate triples are ignored.
+func (s *Store) Add(subj ID, pred PID, obj ID) {
+	pm, ok := s.spo[subj]
+	if !ok {
+		pm = make(map[PID][]ID)
+		s.spo[subj] = pm
+	}
+	for _, o := range pm[pred] {
+		if o == obj {
+			return // duplicate
+		}
+	}
+	pm[pred] = append(pm[pred], obj)
+
+	om, ok := s.pos[pred]
+	if !ok {
+		om = make(map[ID][]ID)
+		s.pos[pred] = om
+	}
+	om[obj] = append(om[obj], subj)
+
+	sm, ok := s.so[subj]
+	if !ok {
+		sm = make(map[ID][]PID)
+		s.so[subj] = sm
+	}
+	sm[obj] = append(sm[obj], pred)
+
+	s.triples++
+}
+
+// AddFact is the convenience form of Add for generator code: subject entity
+// label, predicate name, literal object label.
+func (s *Store) AddFact(subj, pred, objLiteral string) {
+	s.Add(s.Entity(subj), s.Pred(pred), s.Literal(objLiteral))
+}
+
+// Objects returns V(e,p): all objects o with (subj, pred, o) in K. The
+// returned slice is owned by the store and must not be mutated.
+func (s *Store) Objects(subj ID, pred PID) []ID {
+	return s.spo[subj][pred]
+}
+
+// Subjects returns all subjects with (s, pred, obj) in K.
+func (s *Store) Subjects(pred PID, obj ID) []ID {
+	return s.pos[pred][obj]
+}
+
+// PredicatesBetween returns every direct predicate connecting subj to obj.
+func (s *Store) PredicatesBetween(subj, obj ID) []PID {
+	return s.so[subj][obj]
+}
+
+// OutEdges iterates over the out-neighbourhood of subj, calling fn for each
+// (pred, obj) pair. Iteration order over predicates is sorted for
+// determinism.
+func (s *Store) OutEdges(subj ID, fn func(p PID, o ID)) {
+	pm := s.spo[subj]
+	preds := make([]PID, 0, len(pm))
+	for p := range pm {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+	for _, p := range preds {
+		for _, o := range pm[p] {
+			fn(p, o)
+		}
+	}
+}
+
+// NodesByLabel returns all nodes whose normalized label equals the
+// normalized form of label.
+func (s *Store) NodesByLabel(label string) []ID {
+	return s.byLabel[text.Normalize(label)]
+}
+
+// EntitiesByLabel returns only the entity nodes carrying the label.
+func (s *Store) EntitiesByLabel(label string) []ID {
+	var out []ID
+	for _, id := range s.byLabel[text.Normalize(label)] {
+		if s.kinds[id] == KindEntity {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// HasLabel reports whether any node (entity or literal) carries the
+// normalized label.
+func (s *Store) HasLabel(label string) bool {
+	return len(s.byLabel[text.Normalize(label)]) > 0
+}
+
+// NumNodes returns the number of nodes in the store.
+func (s *Store) NumNodes() int { return len(s.labels) }
+
+// NumTriples returns the number of distinct triples.
+func (s *Store) NumTriples() int { return s.triples }
+
+// NumPredicates returns the number of distinct predicate names.
+func (s *Store) NumPredicates() int { return len(s.predNames) }
+
+// Predicates returns all predicate IDs in ascending order.
+func (s *Store) Predicates() []PID {
+	out := make([]PID, len(s.predNames))
+	for i := range out {
+		out[i] = PID(i)
+	}
+	return out
+}
+
+// Entities returns every entity node, in ID order.
+func (s *Store) Entities() []ID {
+	var out []ID
+	for id, k := range s.kinds {
+		if k == KindEntity {
+			out = append(out, ID(id))
+		}
+	}
+	return out
+}
+
+// OutDegree returns the number of triples with subj as subject. The paper
+// uses this as the entity "frequency" when sampling trustworthy entities for
+// valid(k) (Sec 6.3).
+func (s *Store) OutDegree(subj ID) int {
+	n := 0
+	for _, objs := range s.spo[subj] {
+		n += len(objs)
+	}
+	return n
+}
+
+// Triples iterates over every triple in the store in deterministic order
+// (ascending subject, predicate, then insertion order of objects). It is the
+// "scan the RDF triples resident on disk" primitive of the paper's
+// memory-efficient BFS (Sec 6.2).
+func (s *Store) Triples(fn func(Triple)) {
+	for subj := ID(0); int(subj) < len(s.labels); subj++ {
+		pm, ok := s.spo[subj]
+		if !ok {
+			continue
+		}
+		preds := make([]PID, 0, len(pm))
+		for p := range pm {
+			preds = append(preds, p)
+		}
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+		for _, p := range preds {
+			for _, o := range pm[p] {
+				fn(Triple{S: subj, P: p, O: o})
+			}
+		}
+	}
+}
+
+// Path is an expanded predicate: a sequence of predicate IDs traversed
+// subject-to-object (Definition 1 in the paper).
+type Path []PID
+
+// Key renders the path in the paper's arrow notation
+// ("marriage→person→name"), the canonical string form used as a model key.
+func (s *Store) Key(p Path) string {
+	parts := make([]string, len(p))
+	for i, pid := range p {
+		parts[i] = s.predNames[pid]
+	}
+	return strings.Join(parts, "→")
+}
+
+// ParsePath converts an arrow-notation key back to a Path. It returns false
+// when any predicate name is unknown.
+func (s *Store) ParsePath(key string) (Path, bool) {
+	parts := strings.Split(key, "→")
+	path := make(Path, len(parts))
+	for i, name := range parts {
+		pid, ok := s.predIDs[name]
+		if !ok {
+			return nil, false
+		}
+		path[i] = pid
+	}
+	return path, true
+}
+
+// PathObjects returns every object reachable from subj by traversing the
+// path, i.e. V(e, p+) for an expanded predicate (Sec 6.1 "online part").
+// Duplicates are removed; result order is deterministic.
+func (s *Store) PathObjects(subj ID, path Path) []ID {
+	frontier := []ID{subj}
+	for _, p := range path {
+		var next []ID
+		seen := make(map[ID]bool)
+		for _, n := range frontier {
+			for _, o := range s.spo[n][p] {
+				if !seen[o] {
+					seen[o] = true
+					next = append(next, o)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		frontier = next
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	return frontier
+}
+
+// PathsBetween returns every predicate path of length at most maxLen leading
+// from subj to obj. Paths of length 1 are direct predicates. The search is a
+// depth-first enumeration over the (small) out-neighbourhood; endFilter, when
+// non-nil, must accept the final predicate of any multi-edge path (the paper
+// requires length>=2 paths to end in a name-like predicate, Sec 6.3).
+func (s *Store) PathsBetween(subj, obj ID, maxLen int, endFilter func(PID) bool) []Path {
+	var out []Path
+	var walk func(cur ID, prefix Path)
+	walk = func(cur ID, prefix Path) {
+		if len(prefix) >= maxLen {
+			return
+		}
+		s.OutEdges(cur, func(p PID, o ID) {
+			path := append(append(Path{}, prefix...), p)
+			if o == obj {
+				if len(path) == 1 || endFilter == nil || endFilter(p) {
+					out = append(out, path)
+				}
+			}
+			// Continue through mediators and entities (the paper's
+			// marriage→person→name crosses the spouse entity); literals
+			// have no out-edges. Meaningless multi-hop chains are culled
+			// by the end filter, exactly as in Sec 6.3.
+			if s.kinds[o] != KindLiteral {
+				walk(o, path)
+			}
+		})
+	}
+	walk(subj, nil)
+	return out
+}
+
+// DirectOrExpandedBetween reports whether any direct predicate or any
+// expanded predicate of length <= maxLen connects subj and obj. It is the
+// membership test "(e, p, v) ∈ K" of Eq (8) under predicate expansion.
+func (s *Store) DirectOrExpandedBetween(subj, obj ID, maxLen int, endFilter func(PID) bool) bool {
+	if len(s.so[subj][obj]) > 0 {
+		return true
+	}
+	if maxLen <= 1 {
+		return false
+	}
+	return len(s.PathsBetween(subj, obj, maxLen, endFilter)) > 0
+}

@@ -1,0 +1,133 @@
+// Package template implements the paper's central question representation:
+// a template t = t(q, e, c) is the question q with the mention of entity e
+// replaced by one of e's concepts c (Sec 2, "Templates").
+//
+// Templates are stored in canonical string form — lower-cased, single-spaced
+// tokens with the concept placeholder spelled "$concept" — so they can serve
+// directly as model keys: "how many people are there in $city".
+package template
+
+import (
+	"strings"
+
+	"repro/internal/concept"
+	"repro/internal/text"
+)
+
+// Placeholder sigil prepended to concept names in template text.
+const sigil = "$"
+
+// Template is a question form with one entity mention conceptualized.
+type Template struct {
+	// Text is the canonical template string, e.g.
+	// "when was $person born".
+	Text string
+	// Concept is the concept substituted for the mention (without sigil).
+	Concept string
+}
+
+// Derive builds the template for question tokens qToks with the mention span
+// replaced by the concept placeholder.
+func Derive(qToks []string, mention text.Span, conceptName string) Template {
+	repl := text.ReplaceSpan(qToks, mention, sigil+conceptName)
+	return Template{Text: text.Join(repl), Concept: conceptName}
+}
+
+// Weighted is a template with its derivation probability P(t|q,e) = P(c|q,e).
+type Weighted struct {
+	Template
+	P float64
+}
+
+// DeriveAll derives every template for the question and mention, one per
+// concept of the entity surface form, weighted by the context-aware
+// conceptualization distribution (Eq 5: P(t|q,e) = P(c|q,e)).
+func DeriveAll(tax *concept.Taxonomy, qToks []string, mention text.Span, surface string) []Weighted {
+	// Context = the question with the mention removed.
+	ctx := make([]string, 0, len(qToks)-mention.Len())
+	ctx = append(ctx, qToks[:mention.Start]...)
+	ctx = append(ctx, qToks[mention.End:]...)
+	var out []Weighted
+	for _, c := range tax.Conceptualize(surface, ctx) {
+		if c.P <= 0 {
+			continue
+		}
+		out = append(out, Weighted{
+			Template: Derive(qToks, mention, c.Concept),
+			P:        c.P,
+		})
+	}
+	return out
+}
+
+// ConceptOf extracts the concept name from a canonical template string, or
+// "" when the template has no placeholder.
+func ConceptOf(templateText string) string {
+	for _, tok := range strings.Fields(templateText) {
+		if strings.HasPrefix(tok, sigil) && len(tok) > 1 {
+			return tok[1:]
+		}
+	}
+	return ""
+}
+
+// Instantiate substitutes an entity surface form back into a template,
+// producing a concrete question string. It is the inverse of Derive and is
+// used by the corpus generator and by tests.
+func Instantiate(templateText, surface string) string {
+	toks := strings.Fields(templateText)
+	for i, tok := range toks {
+		if strings.HasPrefix(tok, sigil) && len(tok) > 1 {
+			toks[i] = text.Normalize(surface)
+			break
+		}
+	}
+	return text.Normalize(strings.Join(toks, " "))
+}
+
+// Matches reports whether the question tokens match the template with some
+// span substituted for the placeholder, and returns that span. A template
+// without a placeholder matches only the identical token sequence (with an
+// empty span at 0).
+func Matches(templateText string, qToks []string) (text.Span, bool) {
+	tToks := strings.Fields(templateText)
+	hole := -1
+	for i, tok := range tToks {
+		if strings.HasPrefix(tok, sigil) && len(tok) > 1 {
+			hole = i
+			break
+		}
+	}
+	if hole == -1 {
+		if len(tToks) != len(qToks) {
+			return text.Span{}, false
+		}
+		for i := range tToks {
+			if tToks[i] != qToks[i] {
+				return text.Span{}, false
+			}
+		}
+		return text.Span{}, true
+	}
+	// Prefix before the hole must match exactly.
+	suffix := tToks[hole+1:]
+	minLen := hole + 1 + len(suffix) // at least one token in the hole
+	if len(qToks) < minLen {
+		return text.Span{}, false
+	}
+	for i := 0; i < hole; i++ {
+		if qToks[i] != tToks[i] {
+			return text.Span{}, false
+		}
+	}
+	end := len(qToks) - len(suffix)
+	for i, tok := range suffix {
+		if qToks[end+i] != tok {
+			return text.Span{}, false
+		}
+	}
+	if end <= hole {
+		return text.Span{}, false
+	}
+	return text.Span{Start: hole, End: end}, true
+}

@@ -1,0 +1,308 @@
+// Package kbqa is the public API of the KBQA reproduction: template-based
+// question answering over an RDF knowledge base, learned from a QA corpus
+// (Cui et al., "KBQA: Learning Question Answering over QA Corpora and
+// Knowledge Bases", VLDB 2017).
+//
+// The quickest way in is Build, which synthesizes a knowledge base and QA
+// corpus (the library's stand-ins for Freebase/DBpedia and Yahoo! Answers),
+// runs the full offline procedure — joint entity–value extraction, EM
+// estimation of P(p|t), predicate expansion and decomposition statistics —
+// and returns a ready-to-ask System:
+//
+//	sys, err := kbqa.Build(kbqa.Options{Flavor: "freebase"})
+//	ans, ok := sys.Ask("What is the population of Dunford?")
+//
+// Ask handles both binary factoid questions and complex questions composed
+// of a chain of them ("When was X's wife born?"). For corpora of your own,
+// see System.Learn.
+package kbqa
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/decompose"
+	"repro/internal/eval"
+	"repro/internal/kbgen"
+	"repro/internal/learn"
+	"repro/internal/text"
+)
+
+// Options configures Build.
+type Options struct {
+	// Flavor selects the synthetic knowledge base: "kba", "freebase"
+	// (default) or "dbpedia".
+	Flavor string
+	// Seed drives all generation; equal seeds give identical systems.
+	Seed int64
+	// Scale is the base number of entities per category (default 30).
+	Scale int
+	// PairsPerIntent sizes the training corpus (default 40).
+	PairsPerIntent int
+	// NoiseRate is the fraction of corrupted training pairs (default 0.15).
+	NoiseRate float64
+}
+
+// ParseFlavor converts a flavor name to the kbgen flavor.
+func ParseFlavor(name string) (kbgen.Flavor, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "freebase", "fb":
+		return kbgen.Freebase, nil
+	case "kba":
+		return kbgen.KBA, nil
+	case "dbpedia", "dbp":
+		return kbgen.DBpedia, nil
+	default:
+		return 0, fmt.Errorf("kbqa: unknown flavor %q (want kba, freebase, or dbpedia)", name)
+	}
+}
+
+// Step is one hop of an answered complex question.
+type Step struct {
+	Question  string
+	Template  string
+	Predicate string
+	Value     string
+}
+
+// Answer is a successful reply.
+type Answer struct {
+	// Value is the argmax answer.
+	Value string
+	// Values is the full value set of the winning interpretation (band
+	// members, etc.).
+	Values []string
+	// Predicate is the knowledge-base predicate the question mapped to,
+	// in arrow notation for expanded predicates.
+	Predicate string
+	// Template is the learned template that matched.
+	Template string
+	// Score is the (unnormalized) probability mass of Value.
+	Score float64
+	// Steps traces complex-question execution (empty for plain BFQs).
+	Steps []Step
+}
+
+// System is a trained KBQA instance.
+type System struct {
+	world *eval.World
+}
+
+// Build synthesizes a world and runs the complete offline procedure.
+func Build(o Options) (*System, error) {
+	f, err := ParseFlavor(o.Flavor)
+	if err != nil {
+		return nil, err
+	}
+	cfg := eval.DefaultWorldConfig(f)
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.Scale > 0 {
+		cfg.Scale = o.Scale
+	}
+	if o.PairsPerIntent > 0 {
+		cfg.PairsPerIntent = o.PairsPerIntent
+	}
+	if o.NoiseRate > 0 {
+		cfg.NoiseRate = o.NoiseRate
+	}
+	return &System{world: eval.BuildWorld(cfg)}, nil
+}
+
+// Ask answers a question (BFQ or complex). ok is false when the system has
+// no answer, the behaviour a hybrid deployment uses to fall back to
+// another QA engine (see Fallback).
+func (s *System) Ask(question string) (Answer, bool) {
+	ans, ok := s.world.Engine.Answer(question)
+	if !ok {
+		return Answer{}, false
+	}
+	out := Answer{
+		Value:     ans.Value,
+		Values:    ans.Values,
+		Predicate: ans.Path,
+		Template:  ans.Template,
+		Score:     ans.Score,
+	}
+	for _, st := range ans.Steps {
+		out.Steps = append(out.Steps, Step{
+			Question:  st.Question,
+			Template:  st.Template,
+			Predicate: st.Path,
+			Value:     st.Value,
+		})
+	}
+	return out, true
+}
+
+// VariantAnswer is the reply to a ranking, comparison or listing question.
+type VariantAnswer struct {
+	// Kind is "ranking", "comparison" or "listing".
+	Kind string
+	// Entities are the winning entities (the ordered list, for listing).
+	Entities []string
+	// Values aligns with Entities: the predicate values that ranked them.
+	Values []string
+	// Predicate is the predicate the variant aggregated over.
+	Predicate string
+}
+
+// AskVariant answers the BFQ variants of the paper's introduction:
+// ranking ("which city has the 3rd largest population?"), comparison
+// ("which city has more people, A or B?") and listing ("list cities
+// ordered by population"). The grounding reuses the learned templates, so
+// variants need no extra training.
+func (s *System) AskVariant(question string) (VariantAnswer, bool) {
+	va, ok := s.world.Engine.AnswerVariant(question)
+	if !ok {
+		return VariantAnswer{}, false
+	}
+	return VariantAnswer{
+		Kind:      va.Kind.String(),
+		Entities:  va.Entities,
+		Values:    va.Values,
+		Predicate: va.Path,
+	}, true
+}
+
+// QA is one question–answer pair of a training corpus.
+type QA = learn.QA
+
+// Learn re-runs the offline learning over a caller-supplied QA corpus
+// against this system's knowledge base, replacing the current model. Use
+// it to train on your own data instead of the synthetic corpus.
+func (s *System) Learn(pairs []QA) {
+	learner := s.world.Learner()
+	s.world.Model = learner.Learn(pairs)
+	qs := make([]string, len(pairs))
+	for i, p := range pairs {
+		qs[i] = p.Q
+	}
+	s.world.Stats = decompose.BuildStats(qs, func(toks []string, sp text.Span) bool {
+		return len(s.world.KB.Store.EntitiesByLabel(text.Join(text.CutSpan(toks, sp)))) > 0
+	})
+	s.world.Engine = core.NewEngine(s.world.KB.Store, s.world.KB.Taxonomy, s.world.Model, s.world.Stats)
+}
+
+// TrainingCorpus returns the synthetic QA corpus the system was built with,
+// useful as a template for the Learn input format.
+func (s *System) TrainingCorpus() []QA {
+	out := make([]QA, len(s.world.Pairs))
+	for i, p := range s.world.Pairs {
+		out[i] = QA{Q: p.Q, A: p.A}
+	}
+	return out
+}
+
+// SaveModel serializes the learned P(p|t) model.
+func (s *System) SaveModel(w io.Writer) error { return s.world.Model.Save(w) }
+
+// LoadModel replaces the learned model with one written by SaveModel and
+// rewires the online engine.
+func (s *System) LoadModel(r io.Reader) error {
+	m, err := learn.LoadModel(r)
+	if err != nil {
+		return err
+	}
+	s.world.Model = m
+	s.world.Engine = core.NewEngine(s.world.KB.Store, s.world.KB.Taxonomy, m, s.world.Stats)
+	return nil
+}
+
+// Stats summarizes the system.
+type Stats struct {
+	Flavor     string
+	Entities   int
+	Triples    int
+	Predicates int // distinct predicate names in the KB
+	Templates  int // learned templates
+	Intents    int // learned predicates (direct + expanded)
+	CorpusSize int
+}
+
+// Stats reports the system's sizes.
+func (s *System) Stats() Stats {
+	return Stats{
+		Flavor:     s.world.KB.Flavor.String(),
+		Entities:   len(s.world.KB.Store.Entities()),
+		Triples:    s.world.KB.Store.NumTriples(),
+		Predicates: s.world.KB.Store.NumPredicates(),
+		Templates:  s.world.Model.NumTemplates(),
+		Intents:    s.world.Model.NumPredicates(),
+		CorpusSize: len(s.world.Pairs),
+	}
+}
+
+// SampleQuestions returns n answerable questions drawn from the training
+// corpus (deduplicated), handy for demos and smoke tests.
+func (s *System) SampleQuestions(n int) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range s.world.Pairs {
+		if p.Noise || seen[p.Q] {
+			continue
+		}
+		seen[p.Q] = true
+		out = append(out, p.Q)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// ComplexQuestions composes n two-hop complex questions over the system's
+// knowledge base, each with its acceptable gold answers.
+func (s *System) ComplexQuestions(seed int64, n int) []ComplexQuestion {
+	var out []ComplexQuestion
+	for _, cp := range corpus.ComposeComplex(s.world.KB, seed, n) {
+		out = append(out, ComplexQuestion{Q: cp.Q, GoldAnswers: cp.GoldAnswers})
+	}
+	return out
+}
+
+// ComplexQuestion is a generated complex question with gold answers.
+type ComplexQuestion struct {
+	Q           string
+	GoldAnswers []string
+}
+
+// Fallback composes this system with a secondary QA system: questions KBQA
+// cannot answer are forwarded (the hybrid scheme of Sec 7.3.1). The
+// returned function answers like Ask.
+func (s *System) Fallback(secondary func(q string) (string, bool)) func(q string) (Answer, bool) {
+	return func(q string) (Answer, bool) {
+		if ans, ok := s.Ask(q); ok {
+			return ans, true
+		}
+		if v, ok := secondary(q); ok {
+			return Answer{Value: v}, true
+		}
+		return Answer{}, false
+	}
+}
+
+// BuiltinBaseline returns one of the reimplemented comparison systems
+// ("keyword", "synonym", "graph", "rule") wired to this system's knowledge
+// base; it answers via the same Ask-like contract and is the natural
+// secondary for Fallback.
+func (s *System) BuiltinBaseline(name string) (func(q string) (string, bool), error) {
+	sys, ok := s.world.Systems[name]
+	if !ok || name == "kbqa" {
+		return nil, fmt.Errorf("kbqa: unknown baseline %q (want keyword, synonym, graph, or rule)", name)
+	}
+	return func(q string) (string, bool) {
+		res, ok := sys.Answer(q)
+		if !ok {
+			return "", false
+		}
+		return res.Value, true
+	}, nil
+}
+
+var _ = baseline.Result{} // the Systems map above carries baseline.System values
