@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/rdf"
 	"repro/internal/text"
+	"repro/kbqa"
 )
 
 var (
@@ -455,6 +457,73 @@ func BenchmarkBootstrap(b *testing.B) {
 		m := baseline.Bootstrap(w.KB.Store, w.WebDocs)
 		if m.NumPatterns() == 0 {
 			b.Fatal("no patterns")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Serving-runtime benches (internal/serve behind kbqa.Server).
+// ---------------------------------------------------------------------------
+
+var (
+	serveOnce sync.Once
+	serveCold *kbqa.Server // caching disabled: every Ask pays the engine
+	serveWarm *kbqa.Server // default cache, pre-warmed over serveQs
+	serveQs   []string
+)
+
+// serveFixture builds one system and two serving runtimes around it.
+func serveFixture(b *testing.B) {
+	b.Helper()
+	serveOnce.Do(func() {
+		sys, err := kbqa.Build(kbqa.Options{Flavor: "freebase", Seed: 42})
+		if err != nil {
+			panic(err)
+		}
+		serveQs = sys.SampleQuestions(64)
+		serveCold = sys.Server(kbqa.ServerOptions{CacheEntries: -1})
+		serveWarm = sys.Server(kbqa.ServerOptions{})
+		for _, q := range serveQs {
+			serveWarm.Ask(context.Background(), q)
+		}
+	})
+	if len(serveQs) == 0 {
+		b.Skip("no sample questions")
+	}
+}
+
+// BenchmarkServeCold is the uncached serving path: full pipeline plus one
+// engine call per request.
+func BenchmarkServeCold(b *testing.B) {
+	serveFixture(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveCold.Ask(ctx, serveQs[i%len(serveQs)])
+	}
+}
+
+// BenchmarkServeWarmCache serves every request from the sharded LRU cache;
+// the acceptance bar is ≥10× BenchmarkServeCold throughput.
+func BenchmarkServeWarmCache(b *testing.B) {
+	serveFixture(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveWarm.Ask(ctx, serveQs[i%len(serveQs)])
+	}
+}
+
+// BenchmarkBatchAsk measures the batch executor fanning 64 uncached
+// questions across the worker pool (one op = one 64-question batch).
+func BenchmarkBatchAsk(b *testing.B) {
+	serveFixture(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := serveCold.AskBatch(ctx, serveQs)
+		if len(items) != len(serveQs) {
+			b.Fatal("short batch")
 		}
 	}
 }

@@ -1,29 +1,52 @@
-// Command kbqa-server exposes a trained KBQA system over HTTP.
+// Command kbqa-server exposes a trained KBQA system over HTTP through the
+// production serving runtime (sharded answer cache, singleflight
+// deduplication, admission control, batch executor, metrics pipeline).
 //
 // Endpoints:
 //
-//	GET /ask?q=<question>  -> JSON answer (404-style JSON when unanswerable)
-//	GET /stats             -> system statistics
-//	GET /health            -> liveness probe
+//	GET  /ask?q=<question>  -> JSON answer (404 JSON when unanswerable)
+//	POST /batch             -> {"questions": [...]} -> ordered answers
+//	GET  /metrics           -> serving-runtime counters and latency histograms
+//	GET  /stats             -> system statistics
+//	GET  /health            -> liveness probe
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
 //
 // Usage:
 //
-//	kbqa-server -addr :8080 -flavor freebase
+//	kbqa-server -addr :8080 -flavor freebase -timeout 2s -cache 4096
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/kbqa"
 )
 
+// maxBatchSize caps one /batch request; bigger workloads should page.
+const maxBatchSize = 256
+
+// maxBatchBodyBytes bounds the /batch request body before JSON decoding,
+// so an oversized payload is rejected instead of buffered into memory.
+const maxBatchBodyBytes = 1 << 20
+
 type server struct {
 	sys *kbqa.System
+	srv *kbqa.Server
+}
+
+func newServer(sys *kbqa.System, o kbqa.ServerOptions) *server {
+	return &server{sys: sys, srv: sys.Server(o)}
 }
 
 type askResponse struct {
@@ -34,32 +57,145 @@ type askResponse struct {
 	Predicate string      `json:"predicate,omitempty"`
 	Template  string      `json:"template,omitempty"`
 	Steps     []kbqa.Step `json:"steps,omitempty"`
+	Error     string      `json:"error,omitempty"`
 }
 
-func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		http.Error(w, `missing query parameter "q"`, http.StatusBadRequest)
-		return
-	}
-	resp := askResponse{Question: q}
-	if ans, ok := s.sys.Ask(q); ok {
-		resp.Answered = true
+func toAskResponse(q string, ans kbqa.Answer, answered bool) askResponse {
+	resp := askResponse{Question: q, Answered: answered}
+	if answered {
 		resp.Answer = ans.Value
 		resp.Values = ans.Values
 		resp.Predicate = ans.Predicate
 		resp.Template = ans.Template
 		resp.Steps = ans.Steps
 	}
+	return resp
+}
+
+func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSONStatus(w, http.StatusBadRequest, askResponse{Error: `missing query parameter "q"`})
+		return
+	}
+	ans, answered, err := s.srv.Ask(r.Context(), q)
+	if err != nil {
+		writeJSONStatus(w, errStatus(err), askResponse{Question: q, Error: err.Error()})
+		return
+	}
+	resp := toAskResponse(q, ans, answered)
+	if !answered {
+		resp.Error = "no answer"
+		writeJSONStatus(w, http.StatusNotFound, resp)
+		return
+	}
 	writeJSON(w, resp)
+}
+
+type batchRequest struct {
+	Questions []string `json:"questions"`
+}
+
+type batchResponse struct {
+	Results []askResponse `json:"results"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONStatus(w, http.StatusMethodNotAllowed, askResponse{Error: "POST only"})
+		return
+	}
+	var req batchRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeJSONStatus(w, http.StatusRequestEntityTooLarge,
+				askResponse{Error: fmt.Sprintf("request body exceeds %d bytes", maxBatchBodyBytes)})
+			return
+		}
+		writeJSONStatus(w, http.StatusBadRequest, askResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Questions) == 0 {
+		writeJSONStatus(w, http.StatusBadRequest, askResponse{Error: `empty "questions"`})
+		return
+	}
+	if len(req.Questions) > maxBatchSize {
+		writeJSONStatus(w, http.StatusBadRequest,
+			askResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Questions), maxBatchSize)})
+		return
+	}
+	items := s.srv.AskBatch(r.Context(), req.Questions)
+	resp := batchResponse{Results: make([]askResponse, len(items))}
+	var firstErr error
+	errored := 0
+	for i, it := range items {
+		resp.Results[i] = toAskResponse(it.Question, it.Answer, it.Answered)
+		if it.Err != nil {
+			resp.Results[i].Error = it.Err.Error()
+			errored++
+			if firstErr == nil {
+				firstErr = it.Err
+			}
+		} else if !it.Answered {
+			resp.Results[i].Error = "no answer"
+		}
+	}
+	// A batch where every item died on a serving-layer error (shutdown,
+	// saturation) should look unhealthy to status-code-based clients, the
+	// same way /ask does; partial failures stay 200 with per-item errors.
+	if errored == len(items) {
+		writeJSONStatus(w, errStatus(firstErr), resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.srv.Metrics())
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.sys.Stats())
 }
 
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ask", s.handleAsk)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// errStatus maps serving-layer errors to HTTP statuses: timeouts to 504,
+// engine bugs to 500 (retrying re-triggers them), shutdown and other
+// transient failures to 503.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	case errors.Is(err, kbqa.ErrEnginePanic):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusServiceUnavailable
+	}
+}
+
 func writeJSON(w http.ResponseWriter, v interface{}) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("kbqa-server: encode response: %v", err)
 	}
@@ -69,6 +205,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	flavor := flag.String("flavor", "freebase", "knowledge base flavor")
 	seed := flag.Int64("seed", 42, "generation seed")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request answer deadline (0 = none)")
+	cacheEntries := flag.Int("cache", 0, "answer cache capacity (0 = default 4096, negative disables)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent engine calls (0 = 4×GOMAXPROCS)")
 	flag.Parse()
 
 	log.Printf("building %s world...", *flavor)
@@ -79,20 +218,40 @@ func main() {
 	st := sys.Stats()
 	log.Printf("ready: %d templates over %d predicates", st.Templates, st.Intents)
 
-	s := &server{sys: sys}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/ask", s.handleAsk)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+	s := newServer(sys, kbqa.ServerOptions{
+		CacheEntries:  *cacheEntries,
+		MaxConcurrent: *maxConcurrent,
+		Timeout:       *timeout,
 	})
 
-	srv := &http.Server{
+	httpSrv := &http.Server{
 		Addr:         *addr,
-		Handler:      mux,
+		Handler:      s.mux(),
 		ReadTimeout:  5 * time.Second,
-		WriteTimeout: 10 * time.Second,
+		WriteTimeout: 30 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("kbqa-server: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("kbqa-server: shutdown: %v", err)
+	}
+	s.srv.Close()
+	log.Printf("bye")
 }

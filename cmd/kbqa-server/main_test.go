@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -22,7 +25,7 @@ func testServer(t *testing.T) *server {
 		if err != nil {
 			panic(err)
 		}
-		srv = &server{sys: sys}
+		srv = newServer(sys, kbqa.ServerOptions{})
 	})
 	return srv
 }
@@ -53,12 +56,18 @@ func TestHandleAskUnanswered(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/ask?q=what+is+the+meaning+of+life", nil)
 	rec := httptest.NewRecorder()
 	s.handleAsk(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", rec.Code)
+	}
 	var resp askResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Answered {
 		t.Errorf("unanswerable question answered: %+v", resp)
+	}
+	if resp.Error == "" {
+		t.Errorf("404 body carries no error: %+v", resp)
 	}
 }
 
@@ -82,6 +91,190 @@ func TestHandleStats(t *testing.T) {
 	}
 	if st.Templates == 0 || st.Entities == 0 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+func postBatch(t *testing.T, s *server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.handleBatch(rec, req)
+	return rec
+}
+
+func TestHandleBatch(t *testing.T) {
+	s := testServer(t)
+	qs := s.sys.SampleQuestions(3)
+	questions := append(qs, "what is the meaning of life")
+	body, _ := json.Marshal(batchRequest{Questions: questions})
+	rec := postBatch(t, s, string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(questions) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(questions))
+	}
+	for i, r := range resp.Results {
+		if r.Question != questions[i] {
+			t.Errorf("result %d out of order: %q != %q", i, r.Question, questions[i])
+		}
+	}
+	for _, r := range resp.Results[:len(qs)] {
+		if !r.Answered || r.Answer == "" {
+			t.Errorf("answerable question unanswered: %+v", r)
+		}
+	}
+	if last := resp.Results[len(questions)-1]; last.Answered || last.Error == "" {
+		t.Errorf("unanswerable slot = %+v", last)
+	}
+}
+
+func TestHandleBatchRejectsBadRequests(t *testing.T) {
+	s := testServer(t)
+	if rec := postBatch(t, s, `{"questions": []}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d, want 400", rec.Code)
+	}
+	if rec := postBatch(t, s, `{]`); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON: status = %d, want 400", rec.Code)
+	}
+	big, _ := json.Marshal(batchRequest{Questions: make([]string, maxBatchSize+1)})
+	if rec := postBatch(t, s, string(big)); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status = %d, want 400", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/batch", nil)
+	rec := httptest.NewRecorder()
+	s.handleBatch(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /batch: status = %d, want 405", rec.Code)
+	}
+	huge := `{"questions": ["` + strings.Repeat("x", maxBatchBodyBytes+1) + `"]}`
+	if rec := postBatch(t, s, huge); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status = %d, want 413", rec.Code)
+	}
+}
+
+func TestHandleMetrics(t *testing.T) {
+	s := testServer(t)
+	// Generate some traffic so counters are non-trivial.
+	q := s.sys.SampleQuestions(1)[0]
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		s.handleAsk(rec, httptest.NewRequest(http.MethodGet, "/ask?q="+escapeQuery(q), nil))
+	}
+	rec := httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var m kbqa.ServerMetrics
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Served == 0 {
+		t.Fatal("no served requests recorded")
+	}
+	if m.CacheHits+m.CacheMisses != m.Served {
+		t.Errorf("hits(%d) + misses(%d) != served(%d)", m.CacheHits, m.CacheMisses, m.Served)
+	}
+	if m.Stages["total"].Count == 0 {
+		t.Errorf("total-stage histogram empty: %+v", m.Stages)
+	}
+}
+
+// TestBatchAllErroredMapsToErrStatus: a batch where every item failed on a
+// serving-layer error must not report 200 to status-code-based clients.
+func TestBatchAllErroredMapsToErrStatus(t *testing.T) {
+	sys, err := kbqa.Build(kbqa.Options{Flavor: "dbpedia", Seed: 3, Scale: 8, PairsPerIntent: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(sys, kbqa.ServerOptions{})
+	s.srv.Close() // draining server: every item gets ErrShuttingDown
+	body, _ := json.Marshal(batchRequest{Questions: []string{"a", "b"}})
+	rec := postBatch(t, s, string(body))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		if r.Error == "" {
+			t.Errorf("slot %d carries no error: %+v", i, r)
+		}
+	}
+}
+
+// TestConcurrentMixedTraffic hammers /ask and /batch from 32 goroutines
+// through the real mux (run with -race); afterwards the cache counters must
+// be consistent: every served request recorded exactly one hit or miss.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	sys, err := kbqa.Build(kbqa.Options{Flavor: "freebase", Seed: 7, Scale: 10, PairsPerIntent: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(sys, kbqa.ServerOptions{CacheEntries: 64})
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	qs := sys.SampleQuestions(8)
+	if len(qs) == 0 {
+		t.Fatal("no sample questions")
+	}
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if (g+i)%2 == 0 {
+					q := qs[(g+i)%len(qs)]
+					resp, err := http.Get(ts.URL + "/ask?q=" + escapeQuery(q))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("GET /ask?q=%s: status %d", q, resp.StatusCode)
+						return
+					}
+				} else {
+					body, _ := json.Marshal(batchRequest{Questions: qs[:4]})
+					resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := s.srv.Metrics()
+	if m.Served == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if m.CacheHits+m.CacheMisses != m.Served {
+		t.Errorf("hits(%d) + misses(%d) != served(%d)", m.CacheHits, m.CacheMisses, m.Served)
+	}
+	if m.InFlight != 0 {
+		t.Errorf("in-flight gauge = %d after drain, want 0", m.InFlight)
 	}
 }
 

@@ -10,6 +10,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/concept"
 	"repro/internal/decompose"
@@ -59,6 +60,11 @@ type Engine struct {
 	// MaxChainValues caps how many values of an intermediate step are
 	// expanded during complex-question execution (default 8).
 	MaxChainValues int
+
+	// sortedTemplates caches the model's template keys in sorted order;
+	// computed once at construction (the model is immutable while
+	// serving) so the variant path doesn't re-sort per question.
+	sortedTemplates []string
 }
 
 // NewEngine builds an engine. A non-nil stats enables complex-question
@@ -67,6 +73,7 @@ type Engine struct {
 // interpretation, which keeps the DP's δ evaluations cheap.
 func NewEngine(kb *rdf.Store, tax *concept.Taxonomy, model *learn.Model, stats *decompose.Stats) *Engine {
 	e := &Engine{KB: kb, Taxonomy: tax, Model: model}
+	e.sortedTemplates = sortedTemplateKeys(model)
 	if stats != nil {
 		e.Decomposer = e.decomposerFor(nil)
 		e.Decomposer.Stats = stats
@@ -102,12 +109,89 @@ func (e *Engine) decomposerFor(mentions []extract.Mention) *decompose.Decomposer
 // over 99% of corpus questions have |q| < 23 (Sec 5.3).
 const maxDecomposeTokens = 23
 
+// sortedTemplateKeys returns the model's template keys in sorted order.
+func sortedTemplateKeys(model *learn.Model) []string {
+	if model == nil {
+		return nil
+	}
+	out := make([]string, 0, len(model.Theta))
+	for tpl := range model.Theta {
+		out = append(out, tpl)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// templateKeys returns the cached sorted template keys, recomputing only
+// for engines built as raw struct literals.
+func (e *Engine) templateKeys() []string {
+	if e.sortedTemplates != nil {
+		return e.sortedTemplates
+	}
+	return sortedTemplateKeys(e.Model)
+}
+
+// Timings splits an answer call across the online pipeline's stages for the
+// serving layer's latency histograms. Attribution is coarse by design so the
+// hot path stays cheap: Parse covers tokenization and entity-mention lookup,
+// Match covers template derivation and the decomposition DP, Probe covers
+// the per-interpretation model lookups and knowledge-base V(e,p+) probing.
+type Timings struct {
+	Parse time.Duration
+	Match time.Duration
+	Probe time.Duration
+	Total time.Duration
+}
+
+// stampIf returns a start time only when stage timing is requested; the
+// untimed path pays no clock reads.
+func stampIf(tm *Timings) time.Time {
+	if tm == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// lapParse, lapMatch and lapProbe accumulate elapsed time into their stage;
+// all are no-ops on a nil receiver (the untimed path).
+func (tm *Timings) lapParse(start time.Time) {
+	if tm != nil {
+		tm.Parse += time.Since(start)
+	}
+}
+
+func (tm *Timings) lapMatch(start time.Time) {
+	if tm != nil {
+		tm.Match += time.Since(start)
+	}
+}
+
+func (tm *Timings) lapProbe(start time.Time) {
+	if tm != nil {
+		tm.Probe += time.Since(start)
+	}
+}
+
 // Answer answers a question. Primitive BFQs take the O(|P|) inference path
 // directly; only questions the direct path cannot answer pay for the
 // O(|q|^4) decomposition DP (Sec 5). ok is false when KBQA has no answer
 // (the "null" reply counted by the #pro metric).
 func (e *Engine) Answer(question string) (Answer, bool) {
-	if ans, ok := e.AnswerBFQ(question); ok {
+	return e.answer(question, nil)
+}
+
+// AnswerTimed is Answer with per-stage latency attribution, the engine's
+// hook for the serving runtime's metrics pipeline.
+func (e *Engine) AnswerTimed(question string) (Answer, Timings, bool) {
+	var tm Timings
+	start := time.Now()
+	ans, ok := e.answer(question, &tm)
+	tm.Total = time.Since(start)
+	return ans, tm, ok
+}
+
+func (e *Engine) answer(question string, tm *Timings) (Answer, bool) {
+	if ans, ok := e.answerBFQ(question, tm); ok {
 		return ans, true
 	}
 	if e.Decomposer == nil {
@@ -117,13 +201,18 @@ func (e *Engine) Answer(question string) (Answer, bool) {
 	if len(toks) > maxDecomposeTokens {
 		toks = toks[:maxDecomposeTokens]
 	}
+	parseStart := stampIf(tm)
 	mentions := extract.FindMentions(e.KB, toks)
+	tm.lapParse(parseStart)
 	if len(mentions) == 0 {
 		return Answer{}, false
 	}
 	d := e.decomposerFor(mentions)
-	if dec, ok := d.Decompose(question); ok && dec.IsComplex() {
-		if ans, ok := e.executeChain(dec); ok {
+	matchStart := stampIf(tm)
+	dec, ok := d.Decompose(question)
+	tm.lapMatch(matchStart)
+	if ok && dec.IsComplex() {
+		if ans, ok := e.executeChain(dec, tm); ok {
 			return ans, true
 		}
 	}
@@ -132,8 +221,14 @@ func (e *Engine) Answer(question string) (Answer, bool) {
 
 // AnswerBFQ runs Eq (7) on a binary factoid question.
 func (e *Engine) AnswerBFQ(question string) (Answer, bool) {
+	return e.answerBFQ(question, nil)
+}
+
+func (e *Engine) answerBFQ(question string, tm *Timings) (Answer, bool) {
+	parseStart := stampIf(tm)
 	qToks := text.Tokenize(question)
-	cands := e.interpretations(qToks)
+	tm.lapParse(parseStart)
+	cands := e.interpretations(qToks, tm)
 	if len(cands) == 0 {
 		return Answer{}, false
 	}
@@ -199,9 +294,11 @@ type interpretation struct {
 
 // interpretations enumerates Eq (7)'s summation support: entities from the
 // question's mentions, templates from conceptualization, predicates from
-// the learned model.
-func (e *Engine) interpretations(qToks []string) []interpretation {
+// the learned model. tm, when non-nil, accumulates stage latencies.
+func (e *Engine) interpretations(qToks []string, tm *Timings) []interpretation {
+	parseStart := stampIf(tm)
 	mentions := extract.FindMentions(e.KB, qToks)
+	tm.lapParse(parseStart)
 	if len(mentions) == 0 {
 		return nil
 	}
@@ -214,7 +311,10 @@ func (e *Engine) interpretations(qToks []string) []interpretation {
 
 	var out []interpretation
 	for _, m := range mentions {
+		matchStart := stampIf(tm)
 		tmpls := template.DeriveAll(e.Taxonomy, qToks, m.Span, m.Surface)
+		tm.lapMatch(matchStart)
+		probeStart := stampIf(tm)
 		for _, ent := range m.Entities {
 			for _, tw := range tmpls {
 				dist := e.Model.PredDist(tw.Text)
@@ -243,6 +343,7 @@ func (e *Engine) interpretations(qToks []string) []interpretation {
 				}
 			}
 		}
+		tm.lapProbe(probeStart)
 	}
 	return out
 }
@@ -250,17 +351,17 @@ func (e *Engine) interpretations(qToks []string) []interpretation {
 // primitive is the δ oracle of Algorithm 2: a token span is a primitive BFQ
 // iff the engine can actually answer it.
 func (e *Engine) primitive(toks []string) bool {
-	return len(e.interpretations(toks)) > 0
+	return len(e.interpretations(toks, nil)) > 0
 }
 
 // executeChain runs a decomposition sequence: answer the innermost BFQ,
 // then repeatedly bind the answer(s) into the next pattern (Sec 5.1).
-func (e *Engine) executeChain(dec decompose.Decomposition) (Answer, bool) {
+func (e *Engine) executeChain(dec decompose.Decomposition, tm *Timings) (Answer, bool) {
 	maxVals := e.MaxChainValues
 	if maxVals <= 0 {
 		maxVals = 8
 	}
-	first, ok := e.AnswerBFQ(dec.Sequence[0])
+	first, ok := e.answerBFQ(dec.Sequence[0], tm)
 	if !ok {
 		return Answer{}, false
 	}
@@ -282,7 +383,7 @@ func (e *Engine) executeChain(dec decompose.Decomposition) (Answer, bool) {
 		answered := false
 		for _, v := range current {
 			q := decompose.Bind(pat, v)
-			ans, ok := e.AnswerBFQ(q)
+			ans, ok := e.answerBFQ(q, tm)
 			if !ok {
 				continue
 			}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAnswerTimedMatchesAnswer checks that the timed path is a pure
+// instrumentation overlay: identical results, with stage latencies that are
+// disjoint sub-intervals of the total.
+func TestAnswerTimedMatchesAnswer(t *testing.T) {
+	f := world(t)
+	checked := 0
+	for _, p := range f.pairs {
+		if p.Noise {
+			continue
+		}
+		want, wantOK := f.engine.Answer(p.Q)
+		got, tm, gotOK := f.engine.AnswerTimed(p.Q)
+		if gotOK != wantOK || got.Value != want.Value || got.Path != want.Path {
+			t.Fatalf("AnswerTimed(%q) = (%+v, %v), want (%+v, %v)", p.Q, got, gotOK, want, wantOK)
+		}
+		if tm.Total <= 0 {
+			t.Fatalf("Total = %v for %q", tm.Total, p.Q)
+		}
+		if sum := tm.Parse + tm.Match + tm.Probe; sum > tm.Total {
+			t.Fatalf("stage sum %v exceeds total %v for %q", sum, tm.Total, p.Q)
+		}
+		if gotOK && tm.Parse <= 0 {
+			t.Fatalf("answered question recorded no parse time: %+v", tm)
+		}
+		checked++
+		if checked == 25 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no clean questions checked")
+	}
+}
+
+// TestConcurrentAnswerTimed runs the timed path from many goroutines (run
+// with -race): per-call timing state must never leak across calls.
+func TestConcurrentAnswerTimed(t *testing.T) {
+	f := world(t)
+	questions := make([]string, 0, 8)
+	for _, p := range f.pairs {
+		if !p.Noise {
+			questions = append(questions, p.Q)
+			if len(questions) == 8 {
+				break
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range questions {
+				if _, tm, ok := f.engine.AnswerTimed(q); ok && tm.Total <= 0 {
+					t.Errorf("non-positive total for %q", q)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -293,9 +293,17 @@ func (e *Engine) bestTemplateFor(words []string) (string, float64) {
 			content[w] = true
 		}
 	}
+	// Iterate templates in sorted order and break score ties on the
+	// model's own confidence P(p|t): map-order iteration with a strict >
+	// made the winning predicate nondeterministic whenever two templates
+	// overlapped equally (e.g. a noise-trained template shadowing "how
+	// tall is $person").
+	tpls := e.templateKeys()
 	bestScore := 0.0
+	bestConf := 0.0
 	bestPath := ""
-	for tpl, dist := range e.Model.Theta {
+	for _, tpl := range tpls {
+		dist := e.Model.Theta[tpl]
 		overlap := 0
 		total := 0
 		for _, tok := range strings.Fields(tpl) {
@@ -311,7 +319,7 @@ func (e *Engine) bestTemplateFor(words []string) (string, float64) {
 			continue
 		}
 		score := float64(overlap) * float64(overlap) / float64(total)
-		if score > bestScore {
+		if score > bestScore || (score == bestScore && bestPath != "") {
 			var bp string
 			var bpv float64
 			for p, v := range dist {
@@ -323,8 +331,11 @@ func (e *Engine) bestTemplateFor(words []string) (string, float64) {
 			if !e.numericPredicate(bp) {
 				continue
 			}
-			bestScore = score
-			bestPath = bp
+			if score > bestScore || bpv > bestConf || (bpv == bestConf && bp < bestPath) {
+				bestScore = score
+				bestConf = bpv
+				bestPath = bp
+			}
 		}
 	}
 	return bestPath, bestScore

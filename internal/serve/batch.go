@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchItem is one slot of a batch reply; the output slice aligns
+// index-for-index with the input questions.
+type BatchItem[A any] struct {
+	Question string
+	Answer   A
+	OK       bool
+	Err      error
+}
+
+// AskBatch fans the questions across a bounded worker pool, each worker
+// going through the full Ask pipeline (cache, dedup, admission), and
+// returns the answers in input order. A cancelled or expired context marks
+// the not-yet-started items with the context error instead of abandoning
+// the batch.
+func (r *Runtime[A]) AskBatch(ctx context.Context, questions []string) []BatchItem[A] {
+	workers := r.opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return runBatch(ctx, questions, workers, r.Ask)
+}
+
+// RunBatch is the standalone batch executor for callers without a Runtime:
+// it applies the same bounded fan-out and order preservation directly over
+// an Ask-shaped engine, with no caching or deduplication.
+func RunBatch[A any](ctx context.Context, questions []string, workers int, ask func(question string) (A, bool)) []BatchItem[A] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return runBatch(ctx, questions, workers, func(ctx context.Context, q string) (A, bool, error) {
+		if err := ctx.Err(); err != nil {
+			var zero A
+			return zero, false, err
+		}
+		a, ok := ask(q)
+		return a, ok, nil
+	})
+}
+
+// runBatch feeds question indexes to a fixed pool of workers. Results land
+// at their input index, so order is preserved without any post-sort; each
+// index is written exactly once (by the worker that received it, or by the
+// cancellation sweep for indexes never handed out).
+func runBatch[A any](ctx context.Context, questions []string, workers int, ask func(context.Context, string) (A, bool, error)) []BatchItem[A] {
+	out := make([]BatchItem[A], len(questions))
+	if len(questions) == 0 {
+		return out
+	}
+	if workers > len(questions) {
+		workers = len(questions)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = runOne(ctx, questions[i], ask)
+			}
+		}()
+	}
+	done := ctx.Done()
+feed:
+	for i := range questions {
+		select {
+		case idx <- i:
+		case <-done:
+			for j := i; j < len(questions); j++ {
+				out[j] = BatchItem[A]{Question: questions[j], Err: ctx.Err()}
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// runOne answers one batch slot, containing engine panics as
+// ErrEnginePanic items: a worker goroutine has no net/http recovery above
+// it, so an escaped panic would kill the whole process.
+func runOne[A any](ctx context.Context, question string, ask func(context.Context, string) (A, bool, error)) (item BatchItem[A]) {
+	defer func() {
+		if p := recover(); p != nil {
+			item = BatchItem[A]{Question: question, Err: fmt.Errorf("%w: %v", ErrEnginePanic, p)}
+		}
+	}()
+	a, ok, err := ask(ctx, question)
+	return BatchItem[A]{Question: question, Answer: a, OK: ok, Err: err}
+}

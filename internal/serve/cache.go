@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// answerCache is a sharded LRU cache over normalized questions. Each shard
+// is an independently mutex-guarded LRU list + map, so concurrent lookups
+// of different questions rarely contend on the same lock. The cache stores
+// negative results too ("no answer" replies), which protects the engine
+// from repeated unanswerable questions just as well as from popular ones.
+type answerCache[A any] struct {
+	shards    []*cacheShard[A]
+	evictions atomic.Uint64
+}
+
+// cached is one resident answer; entries form a doubly-linked MRU list
+// threaded through the shard's sentinel root.
+type cached[A any] struct {
+	key        string
+	val        A
+	ok         bool
+	prev, next *cached[A]
+}
+
+type cacheShard[A any] struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*cached[A]
+	root  cached[A] // sentinel: root.next = MRU, root.prev = LRU
+}
+
+// newAnswerCache builds a cache of shards × perShard capacity; total
+// capacity is split evenly with every shard holding at least one entry.
+func newAnswerCache[A any](shards, capacity int) *answerCache[A] {
+	if shards < 1 {
+		shards = 1
+	}
+	perShard := capacity / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &answerCache[A]{shards: make([]*cacheShard[A], shards)}
+	for i := range c.shards {
+		s := &cacheShard[A]{cap: perShard, items: make(map[string]*cached[A], perShard+1)}
+		s.root.next = &s.root
+		s.root.prev = &s.root
+		c.shards[i] = s
+	}
+	return c
+}
+
+// fnv1a hashes the key for shard selection (FNV-1a, inlined to avoid the
+// hash.Hash32 allocation per lookup).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *answerCache[A]) shard(key string) *cacheShard[A] {
+	return c.shards[fnv1a(key)%uint32(len(c.shards))]
+}
+
+// get returns the cached answer and whether the key was resident.
+func (c *answerCache[A]) get(key string) (val A, ok bool, hit bool) {
+	return c.shard(key).get(key)
+}
+
+// put inserts or refreshes an entry, bumping the eviction counter when a
+// cold entry is displaced.
+func (c *answerCache[A]) put(key string, val A, ok bool) {
+	if c.shard(key).put(key, val, ok) {
+		c.evictions.Add(1)
+	}
+}
+
+// len reports the number of resident entries across all shards.
+func (c *answerCache[A]) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (s *cacheShard[A]) get(key string) (val A, ok bool, hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.items[key]
+	if e == nil {
+		var zero A
+		return zero, false, false
+	}
+	s.detach(e)
+	s.pushFront(e)
+	return e.val, e.ok, true
+}
+
+func (s *cacheShard[A]) put(key string, val A, ok bool) (evicted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.items[key]; e != nil {
+		e.val, e.ok = val, ok
+		s.detach(e)
+		s.pushFront(e)
+		return false
+	}
+	e := &cached[A]{key: key, val: val, ok: ok}
+	s.items[key] = e
+	s.pushFront(e)
+	if len(s.items) > s.cap {
+		lru := s.root.prev
+		s.detach(lru)
+		delete(s.items, lru.key)
+		return true
+	}
+	return false
+}
+
+func (s *cacheShard[A]) detach(e *cached[A]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *cacheShard[A]) pushFront(e *cached[A]) {
+	e.prev = &s.root
+	e.next = s.root.next
+	e.next.prev = e
+	s.root.next = e
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newAnswerCache[string](1, 2)
+	c.put("a", "A", true)
+	c.put("b", "B", true)
+	if _, _, hit := c.get("a"); !hit { // refresh a: LRU order is now b, a
+		t.Fatal("a not resident")
+	}
+	c.put("c", "C", true)
+	if _, _, hit := c.get("b"); hit {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, _, hit := c.get("a"); !hit {
+		t.Error("a was refreshed and must survive")
+	}
+	if _, _, hit := c.get("c"); !hit {
+		t.Error("c was just inserted")
+	}
+	if ev := c.evictions.Load(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	if n := c.len(); n != 2 {
+		t.Errorf("len = %d, want 2", n)
+	}
+}
+
+func TestCacheUpdateInPlace(t *testing.T) {
+	c := newAnswerCache[string](1, 2)
+	c.put("a", "A1", true)
+	c.put("a", "A2", false)
+	val, ok, hit := c.get("a")
+	if !hit || ok || val != "A2" {
+		t.Errorf("got (%q, %v, %v), want (A2, false, true)", val, ok, hit)
+	}
+	if n := c.len(); n != 1 {
+		t.Errorf("len = %d, want 1", n)
+	}
+}
+
+func TestCacheNegativeEntries(t *testing.T) {
+	c := newAnswerCache[string](4, 8)
+	c.put("unanswerable", "", false)
+	if _, ok, hit := c.get("unanswerable"); !hit || ok {
+		t.Errorf("negative entry: hit=%v ok=%v, want hit=true ok=false", hit, ok)
+	}
+}
+
+// TestCacheShardedConcurrency hammers every shard from many goroutines; run
+// with -race. The final resident count must respect the total capacity.
+func TestCacheShardedConcurrency(t *testing.T) {
+	const shards, capacity = 8, 64
+	c := newAnswerCache[int](shards, capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("q%d", (g*31+i)%200)
+				if _, _, hit := c.get(key); !hit {
+					c.put(key, i, true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.len(); n > capacity {
+		t.Errorf("resident entries %d exceed capacity %d", n, capacity)
+	}
+	if n := c.len(); n == 0 {
+		t.Error("cache empty after load")
+	}
+}
+
+func TestFnv1aSpreads(t *testing.T) {
+	c := newAnswerCache[int](8, 800)
+	for i := 0; i < 400; i++ {
+		c.put(fmt.Sprintf("question number %d", i), i, true)
+	}
+	for i, s := range c.shards {
+		s.mu.Lock()
+		n := len(s.items)
+		s.mu.Unlock()
+		if n == 0 {
+			t.Errorf("shard %d received no keys", i)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent identical work (the singleflight
+// pattern): while a leader is computing the answer for a key, followers of
+// the same key block on the leader's result instead of issuing their own
+// engine call. Followers honour their own context, so a slow leader cannot
+// pin a follower past its deadline.
+type flightGroup[A any] struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall[A]
+}
+
+type flightCall[A any] struct {
+	done chan struct{}
+	val  A
+	ok   bool
+	err  error
+}
+
+// do runs fn once per key among concurrent callers. shared reports whether
+// this caller joined an in-flight leader rather than running fn itself; a
+// leader's error is shared with every follower that waited it out.
+func (g *flightGroup[A]) do(ctx context.Context, key string, fn func() (A, bool, error)) (val A, ok, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall[A])
+	}
+	if c, inFlight := g.calls[key]; inFlight {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.ok, true, c.err
+		case <-ctx.Done():
+			var zero A
+			return zero, false, true, ctx.Err()
+		}
+	}
+	c := &flightCall[A]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The cleanup must run even if fn panics, or the key stays poisoned:
+	// every later caller would join the dead flight and block forever. The
+	// panic itself is contained as ErrEnginePanic for the leader and every
+	// follower — re-panicking would tear down whichever goroutine happened
+	// to lead (a batch worker panic would kill the whole process).
+	func() {
+		defer func() {
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			if p := recover(); p != nil {
+				c.err = fmt.Errorf("%w: %v", ErrEnginePanic, p)
+			}
+			close(c.done)
+		}()
+		c.val, c.ok, c.err = fn()
+	}()
+	return c.val, c.ok, false, c.err
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage names of the latency histograms, matching core.Timings attribution.
+const (
+	StageParse = "parse"
+	StageMatch = "match"
+	StageProbe = "probe"
+	StageTotal = "total"
+)
+
+// StageTimings carries the engine's per-stage latencies into the metrics
+// pipeline without importing internal/core (which would invert the layering
+// for callers that wrap other engines).
+type StageTimings struct {
+	Parse time.Duration
+	Match time.Duration
+	Probe time.Duration
+}
+
+// numBuckets counts the bounded buckets plus one overflow bucket.
+const numBuckets = 11
+
+// bucketBounds are the histogram upper bounds, exponential-ish from 1µs to
+// 1s; observations beyond the last bound land in an overflow bucket.
+var bucketBounds = [numBuckets - 1]time.Duration{
+	1 * time.Microsecond,
+	5 * time.Microsecond,
+	25 * time.Microsecond,
+	100 * time.Microsecond,
+	500 * time.Microsecond,
+	2500 * time.Microsecond,
+	10 * time.Millisecond,
+	50 * time.Millisecond,
+	250 * time.Millisecond,
+	time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram with lock-free recording;
+// the total count is derived from the buckets at snapshot time.
+type histogram struct {
+	sumNanos atomic.Int64
+	buckets  [numBuckets]atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.sumNanos.Add(int64(d))
+	for i, b := range bucketBounds {
+		if d <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[numBuckets-1].Add(1)
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at or below the upper bound (non-cumulative).
+type Bucket struct {
+	LEMillis float64 `json:"le_ms"`
+	Count    uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time JSON-friendly view of a histogram.
+// Quantiles are estimated by linear interpolation inside the target bucket.
+type HistogramSnapshot struct {
+	Count      uint64   `json:"count"`
+	MeanMillis float64  `json:"mean_ms"`
+	P50Millis  float64  `json:"p50_ms"`
+	P90Millis  float64  `json:"p90_ms"`
+	P99Millis  float64  `json:"p99_ms"`
+	Buckets    []Bucket `json:"buckets,omitempty"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	snap := HistogramSnapshot{Count: total}
+	if total == 0 {
+		return snap
+	}
+	snap.MeanMillis = float64(h.sumNanos.Load()) / float64(total) / 1e6
+	snap.P50Millis = quantile(counts[:], total, 0.50)
+	snap.P90Millis = quantile(counts[:], total, 0.90)
+	snap.P99Millis = quantile(counts[:], total, 0.99)
+	snap.Buckets = make([]Bucket, 0, len(counts))
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		snap.Buckets = append(snap.Buckets, Bucket{LEMillis: upperBoundMillis(i), Count: c})
+	}
+	return snap
+}
+
+// upperBoundMillis is bucket i's upper bound; the overflow bucket reports a
+// nominal 4× of the last real bound.
+func upperBoundMillis(i int) float64 {
+	if i < len(bucketBounds) {
+		return float64(bucketBounds[i]) / 1e6
+	}
+	return float64(4*bucketBounds[len(bucketBounds)-1]) / 1e6
+}
+
+// quantile estimates the q-quantile in milliseconds from bucket counts.
+func quantile(counts []uint64, total uint64, q float64) float64 {
+	target := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = upperBoundMillis(i - 1)
+		}
+		hi := upperBoundMillis(i)
+		if cum+float64(c) >= target {
+			frac := (target - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(c)
+	}
+	return upperBoundMillis(len(counts) - 1)
+}
+
+// metrics is the runtime's self-instrumentation: cheap atomic counters and
+// per-stage histograms, snapshotted on demand for the /metrics endpoint.
+type metrics struct {
+	served   atomic.Uint64 // requests that reached the cache/engine path
+	hits     atomic.Uint64 // answered straight from the cache
+	misses   atomic.Uint64 // had to consult the flight group / engine
+	deduped  atomic.Uint64 // misses resolved by joining an in-flight leader
+	rejected atomic.Uint64 // gave up in admission or flight wait (deadline)
+	panics   atomic.Uint64 // requests that surfaced a contained engine panic
+	inFlight atomic.Int64  // Ask calls currently executing
+
+	parse histogram
+	match histogram
+	probe histogram
+	total histogram
+}
+
+func (m *metrics) observeStages(tm StageTimings) {
+	m.parse.observe(tm.Parse)
+	m.match.observe(tm.Match)
+	m.probe.observe(tm.Probe)
+}
+
+// Snapshot is the JSON document served by /metrics. The counters satisfy
+// CacheHits + CacheMisses == Served for all quiescent snapshots: every
+// request records exactly one hit or miss.
+type Snapshot struct {
+	Served         uint64                       `json:"served"`
+	CacheHits      uint64                       `json:"cache_hits"`
+	CacheMisses    uint64                       `json:"cache_misses"`
+	CacheEvictions uint64                       `json:"cache_evictions"`
+	CacheEntries   int                          `json:"cache_entries"`
+	HitRate        float64                      `json:"hit_rate"`
+	Deduped        uint64                       `json:"deduped"`
+	Rejected       uint64                       `json:"rejected"`
+	EnginePanics   uint64                       `json:"engine_panics"`
+	InFlight       int64                        `json:"in_flight"`
+	Stages         map[string]HistogramSnapshot `json:"stages"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	s := Snapshot{
+		Served:      m.served.Load(),
+		CacheHits:   m.hits.Load(),
+		CacheMisses: m.misses.Load(),
+		Deduped:      m.deduped.Load(),
+		Rejected:     m.rejected.Load(),
+		EnginePanics: m.panics.Load(),
+		InFlight:     m.inFlight.Load(),
+		Stages: map[string]HistogramSnapshot{
+			StageParse: m.parse.snapshot(),
+			StageMatch: m.match.snapshot(),
+			StageProbe: m.probe.snapshot(),
+			StageTotal: m.total.snapshot(),
+		},
+	}
+	if s.Served > 0 {
+		s.HitRate = float64(s.CacheHits) / float64(s.Served)
+	}
+	return s
+}

@@ -1,0 +1,243 @@
+// Package serve is the production serving runtime of the KBQA
+// reproduction: a read-optimized layer in front of the online engine. The
+// paper splits KBQA into an expensive offline learning phase and a cheap
+// online answering phase (Sec 1); this package is what makes the online
+// phase survive heavy concurrent traffic without touching the engine:
+//
+//   - a sharded LRU answer cache keyed by the normalized question, with
+//     hit/miss/eviction counters;
+//   - singleflight deduplication, so a thundering herd of identical
+//     questions costs one engine call;
+//   - admission control bounding concurrent engine calls, plus
+//     per-request deadlines;
+//   - a bounded-worker batch executor that fans a question slice across
+//     goroutines while preserving input order;
+//   - a metrics pipeline (per-stage latency histograms, cache hit rate,
+//     in-flight gauge) snapshotted as JSON.
+//
+// The runtime is generic over the answer type so it layers over
+// kbqa.System without an import cycle, and over any Ask-shaped engine.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// AskFunc is the engine the runtime wraps: it answers one question,
+// reporting per-stage latencies for the metrics pipeline.
+type AskFunc[A any] func(question string) (A, StageTimings, bool)
+
+// ErrShuttingDown is returned for requests arriving after Close.
+var ErrShuttingDown = errors.New("serve: runtime shutting down")
+
+// ErrEnginePanic wraps a panic recovered from the engine inside a flight;
+// callers should surface it as an internal error, not a transient one —
+// retrying the same question re-triggers the panic.
+var ErrEnginePanic = errors.New("serve: engine panic")
+
+// Options tunes the runtime; the zero value is production-sensible.
+type Options struct {
+	// CacheShards is the number of independently locked cache shards
+	// (default 16).
+	CacheShards int
+	// CacheEntries is the total cache capacity in answers. 0 means the
+	// default (4096); negative disables caching entirely.
+	CacheEntries int
+	// MaxConcurrent bounds concurrent engine calls (admission control).
+	// 0 means 4×GOMAXPROCS; negative means unbounded. Excess callers
+	// queue until a slot frees or their deadline expires.
+	MaxConcurrent int
+	// BatchWorkers sizes AskBatch's worker pool (default GOMAXPROCS).
+	BatchWorkers int
+	// Timeout is the per-request deadline applied when the caller's
+	// context has none. 0 means no default deadline.
+	Timeout time.Duration
+	// Normalize produces the cache/deduplication key from a question.
+	// Default: lower-cased, space-collapsed trimming.
+	Normalize func(string) string
+}
+
+// Runtime is a concurrent serving layer over one engine. All methods are
+// safe for concurrent use.
+type Runtime[A any] struct {
+	ask       AskFunc[A]
+	opts      Options
+	cache     *answerCache[A] // nil when caching is disabled
+	flight    flightGroup[A]
+	sem       chan struct{} // nil when unbounded
+	metrics   metrics
+	closed    chan struct{}
+	closeOnce sync.Once
+	normalize func(string) string
+}
+
+// New builds a runtime around ask.
+func New[A any](ask AskFunc[A], o Options) *Runtime[A] {
+	r := &Runtime[A]{ask: ask, closed: make(chan struct{})}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 4096
+	}
+	if o.CacheEntries > 0 {
+		r.cache = newAnswerCache[A](o.CacheShards, o.CacheEntries)
+	}
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxConcurrent > 0 {
+		r.sem = make(chan struct{}, o.MaxConcurrent)
+	}
+	r.normalize = o.Normalize
+	if r.normalize == nil {
+		r.normalize = defaultNormalize
+	}
+	r.opts = o
+	return r
+}
+
+// defaultNormalize lower-cases and collapses whitespace so trivially
+// restyled questions share a cache entry.
+func defaultNormalize(q string) string {
+	return strings.Join(strings.Fields(strings.ToLower(q)), " ")
+}
+
+// Ask answers one question through the cache → singleflight → admission →
+// engine pipeline. ok mirrors the engine's "has an answer" flag; err is
+// non-nil only for serving-layer failures (deadline exceeded while queued
+// or waiting, runtime closed, an engine panic contained as ErrEnginePanic)
+// — never for unanswerable questions.
+func (r *Runtime[A]) Ask(ctx context.Context, question string) (ans A, ok bool, err error) {
+	select {
+	case <-r.closed:
+		var zero A
+		return zero, false, ErrShuttingDown
+	default:
+	}
+	r.metrics.inFlight.Add(1)
+	start := time.Now()
+	defer func() {
+		r.metrics.total.observe(time.Since(start))
+		r.metrics.inFlight.Add(-1)
+	}()
+
+	key := r.normalize(question)
+	r.metrics.served.Add(1)
+	if r.cache != nil {
+		if val, okAns, hit := r.cache.get(key); hit {
+			r.metrics.hits.Add(1)
+			return val, okAns, nil
+		}
+	}
+	r.metrics.misses.Add(1)
+
+	// The engine path is the only consumer of the deadline, so the
+	// timer is set up after the cache hit fast-path.
+	if r.opts.Timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
+			defer cancel()
+		}
+	}
+
+	for {
+		val, okAns, shared, err := r.flight.do(ctx, key, func() (A, bool, error) {
+			// A flight for this key may have completed between the miss
+			// and this leader starting; don't redo resident work.
+			if r.cache != nil {
+				if val, okAns, hit := r.cache.get(key); hit {
+					return val, okAns, nil
+				}
+			}
+			release, err := r.admit(ctx)
+			if err != nil {
+				var zero A
+				return zero, false, err
+			}
+			defer release()
+			if err := ctx.Err(); err != nil {
+				var zero A
+				return zero, false, err
+			}
+			a, tm, okAns := r.ask(question)
+			r.metrics.observeStages(tm)
+			if r.cache != nil {
+				r.cache.put(key, a, okAns)
+			}
+			return a, okAns, nil
+		})
+		if err != nil {
+			// A shared context error is the leader's, produced by the
+			// leader's own deadline; a follower whose context is still
+			// live retries as (or behind) a fresh leader rather than
+			// failing on someone else's budget. Non-context leader
+			// errors (engine panics) propagate as-is.
+			if shared && ctx.Err() == nil &&
+				(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+				// A parallel flight may have answered and cached the
+				// question while this follower was waiting; don't pay
+				// another engine call for a resident answer. The request
+				// stays accounted as its original miss.
+				if r.cache != nil {
+					if val, okAns, hit := r.cache.get(key); hit {
+						return val, okAns, nil
+					}
+				}
+				continue
+			}
+			if errors.Is(err, ErrEnginePanic) {
+				r.metrics.panics.Add(1)
+			} else {
+				r.metrics.rejected.Add(1)
+			}
+			var zero A
+			return zero, false, err
+		}
+		if shared {
+			r.metrics.deduped.Add(1)
+		}
+		return val, okAns, nil
+	}
+}
+
+// admit takes an engine slot, blocking until one frees or ctx expires.
+func (r *Runtime[A]) admit(ctx context.Context) (release func(), err error) {
+	if r.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case r.sem <- struct{}{}:
+		return func() { <-r.sem }, nil
+	default:
+	}
+	select {
+	case r.sem <- struct{}{}:
+		return func() { <-r.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Metrics returns a point-in-time snapshot of the runtime's counters and
+// latency histograms.
+func (r *Runtime[A]) Metrics() Snapshot {
+	s := r.metrics.snapshot()
+	if r.cache != nil {
+		s.CacheEvictions = r.cache.evictions.Load()
+		s.CacheEntries = r.cache.len()
+	}
+	return s
+}
+
+// Close marks the runtime as shutting down; subsequent Ask calls fail fast
+// with ErrShuttingDown. In-flight requests are unaffected.
+func (r *Runtime[A]) Close() {
+	r.closeOnce.Do(func() { close(r.closed) })
+}

@@ -122,22 +122,7 @@ func (s *System) Ask(question string) (Answer, bool) {
 	if !ok {
 		return Answer{}, false
 	}
-	out := Answer{
-		Value:     ans.Value,
-		Values:    ans.Values,
-		Predicate: ans.Path,
-		Template:  ans.Template,
-		Score:     ans.Score,
-	}
-	for _, st := range ans.Steps {
-		out.Steps = append(out.Steps, Step{
-			Question:  st.Question,
-			Template:  st.Template,
-			Predicate: st.Path,
-			Value:     st.Value,
-		})
-	}
-	return out, true
+	return answerFromCore(ans), true
 }
 
 // VariantAnswer is the reply to a ranking, comparison or listing question.

@@ -1,0 +1,156 @@
+package kbqa
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/text"
+)
+
+// Sentinel errors of the serving runtime, for callers mapping failures to
+// transport statuses.
+var (
+	// ErrShuttingDown is returned for requests arriving after Close.
+	ErrShuttingDown = serve.ErrShuttingDown
+	// ErrEnginePanic wraps a panic recovered from the engine; an internal
+	// bug, not a transient failure — retries re-trigger it.
+	ErrEnginePanic = serve.ErrEnginePanic
+)
+
+// ServerOptions tunes a System.Server runtime; the zero value is
+// production-sensible (16 cache shards × 4096 total entries, admission
+// bounded at 4×GOMAXPROCS, no default deadline).
+type ServerOptions struct {
+	// CacheShards is the number of independently locked answer-cache
+	// shards (default 16).
+	CacheShards int
+	// CacheEntries is the total answer-cache capacity. 0 means the
+	// default (4096); negative disables caching.
+	CacheEntries int
+	// MaxConcurrent bounds concurrent engine calls. 0 means
+	// 4×GOMAXPROCS; negative means unbounded.
+	MaxConcurrent int
+	// BatchWorkers sizes AskBatch's worker pool (default GOMAXPROCS).
+	BatchWorkers int
+	// Timeout is the per-request deadline applied when the caller's
+	// context has none (0 = none).
+	Timeout time.Duration
+}
+
+// Server is the production serving runtime around a System: a sharded LRU
+// answer cache with singleflight deduplication, admission control, an
+// order-preserving batch executor, and a self-instrumented metrics
+// pipeline. Unlike System.Ask it is context-aware and designed for heavy
+// concurrent traffic; cmd/kbqa-server is a thin HTTP shell over it.
+type Server struct {
+	sys *System
+	rt  *serve.Runtime[Answer]
+}
+
+// Server wraps the system in a serving runtime. The underlying System must
+// not be retrained (Learn, LoadModel) while the server is taking traffic.
+func (s *System) Server(o ServerOptions) *Server {
+	rt := serve.New(func(q string) (Answer, serve.StageTimings, bool) {
+		ans, tm, ok := s.world.Engine.AnswerTimed(q)
+		st := serve.StageTimings{Parse: tm.Parse, Match: tm.Match, Probe: tm.Probe}
+		if !ok {
+			return Answer{}, st, false
+		}
+		return answerFromCore(ans), st, true
+	}, serve.Options{
+		CacheShards:   o.CacheShards,
+		CacheEntries:  o.CacheEntries,
+		MaxConcurrent: o.MaxConcurrent,
+		BatchWorkers:  o.BatchWorkers,
+		Timeout:       o.Timeout,
+		Normalize:     text.Normalize,
+	})
+	return &Server{sys: s, rt: rt}
+}
+
+// Ask answers one question through the serving pipeline. ok is false for
+// unanswerable questions; err is non-nil only for serving-layer failures
+// (deadline exceeded while queued, server closed).
+func (sv *Server) Ask(ctx context.Context, question string) (Answer, bool, error) {
+	return sv.rt.Ask(ctx, question)
+}
+
+// BatchAnswer is one slot of a batch reply, aligned with the input order.
+type BatchAnswer struct {
+	Question string
+	Answer   Answer
+	Answered bool
+	Err      error
+}
+
+// AskBatch answers a slice of questions concurrently over a bounded worker
+// pool, preserving input order. Each question goes through the full
+// serving pipeline, so duplicates inside one batch cost one engine call.
+func (sv *Server) AskBatch(ctx context.Context, questions []string) []BatchAnswer {
+	return toBatchAnswers(sv.rt.AskBatch(ctx, questions))
+}
+
+// Metrics snapshots the serving runtime's counters and latency histograms.
+func (sv *Server) Metrics() ServerMetrics {
+	return sv.rt.Metrics()
+}
+
+// System returns the wrapped system (for /stats-style introspection).
+func (sv *Server) System() *System { return sv.sys }
+
+// Close puts the server into shutdown: subsequent Ask/AskBatch calls fail
+// fast while in-flight requests drain normally.
+func (sv *Server) Close() { sv.rt.Close() }
+
+// AskBatch is the uncached batch form of Ask: the questions fan out over a
+// bounded worker pool (GOMAXPROCS workers) and the replies come back in
+// input order. For sustained serving traffic prefer Server, which adds
+// caching, deduplication and admission control.
+func (s *System) AskBatch(questions []string) []BatchAnswer {
+	return toBatchAnswers(serve.RunBatch(context.Background(), questions, 0, s.Ask))
+}
+
+func toBatchAnswers(items []serve.BatchItem[Answer]) []BatchAnswer {
+	out := make([]BatchAnswer, len(items))
+	for i, it := range items {
+		out[i] = BatchAnswer{Question: it.Question, Answer: it.Answer, Answered: it.OK, Err: it.Err}
+	}
+	return out
+}
+
+// answerFromCore converts the engine's answer to the public shape.
+func answerFromCore(ans core.Answer) Answer {
+	out := Answer{
+		Value:     ans.Value,
+		Values:    ans.Values,
+		Predicate: ans.Path,
+		Template:  ans.Template,
+		Score:     ans.Score,
+	}
+	for _, st := range ans.Steps {
+		out.Steps = append(out.Steps, Step{
+			Question:  st.Question,
+			Template:  st.Template,
+			Predicate: st.Path,
+			Value:     st.Value,
+		})
+	}
+	return out
+}
+
+// ServerMetrics is the JSON document behind the server's /metrics
+// endpoint. CacheHits + CacheMisses == Served in every quiescent snapshot:
+// each request records exactly one of the two. The aliases expose the
+// runtime's snapshot types directly so the public view cannot drift from
+// the runtime's instrumentation.
+type ServerMetrics = serve.Snapshot
+
+// StageMetrics is the latency histogram of one pipeline stage (parse,
+// match, probe, or total), in milliseconds.
+type StageMetrics = serve.HistogramSnapshot
+
+// StageBucket is one histogram bucket: observations at or below the upper
+// bound (non-cumulative).
+type StageBucket = serve.Bucket

@@ -1,0 +1,110 @@
+package kbqa
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestServerAskMatchesSystemAsk(t *testing.T) {
+	s := testSystem(t)
+	sv := s.Server(ServerOptions{})
+	defer sv.Close()
+	ctx := context.Background()
+	for _, q := range s.SampleQuestions(10) {
+		want, wantOK := s.Ask(q)
+		for i := 0; i < 2; i++ { // second round is served from the cache
+			got, gotOK, err := sv.Ask(ctx, q)
+			if err != nil {
+				t.Fatalf("Ask(%q): %v", q, err)
+			}
+			if gotOK != wantOK || got.Value != want.Value || got.Predicate != want.Predicate {
+				t.Errorf("Ask(%q) round %d = (%+v, %v), want (%+v, %v)", q, i, got, gotOK, want, wantOK)
+			}
+		}
+	}
+	m := sv.Metrics()
+	if m.CacheHits == 0 {
+		t.Error("second round should have hit the cache")
+	}
+	if m.CacheHits+m.CacheMisses != m.Served {
+		t.Errorf("hits(%d) + misses(%d) != served(%d)", m.CacheHits, m.CacheMisses, m.Served)
+	}
+}
+
+func TestServerAskBatchOrder(t *testing.T) {
+	s := testSystem(t)
+	sv := s.Server(ServerOptions{BatchWorkers: 4})
+	defer sv.Close()
+	qs := s.SampleQuestions(8)
+	qs = append(qs, "what is the meaning of life")
+	items := sv.AskBatch(context.Background(), qs)
+	if len(items) != len(qs) {
+		t.Fatalf("got %d items, want %d", len(items), len(qs))
+	}
+	for i, it := range items {
+		if it.Question != qs[i] {
+			t.Errorf("slot %d out of order: %q != %q", i, it.Question, qs[i])
+		}
+		if it.Err != nil {
+			t.Errorf("slot %d error: %v", i, it.Err)
+		}
+	}
+	if items[len(items)-1].Answered {
+		t.Error("unanswerable question reported answered")
+	}
+}
+
+func TestSystemAskBatch(t *testing.T) {
+	s := testSystem(t)
+	qs := s.SampleQuestions(6)
+	items := s.AskBatch(qs)
+	for i, it := range items {
+		want, wantOK := s.Ask(qs[i])
+		if it.Answered != wantOK || it.Answer.Value != want.Value {
+			t.Errorf("slot %d = (%+v, %v), want (%+v, %v)", i, it.Answer, it.Answered, want, wantOK)
+		}
+	}
+}
+
+// TestServerConcurrentParity exercises the full serving pipeline from many
+// goroutines (run with -race): answers must match the single-threaded
+// baseline and the cache counters must balance.
+func TestServerConcurrentParity(t *testing.T) {
+	s := testSystem(t)
+	sv := s.Server(ServerOptions{CacheEntries: 32})
+	defer sv.Close()
+	qs := s.SampleQuestions(12)
+	baseline := make([]Answer, len(qs))
+	baselineOK := make([]bool, len(qs))
+	for i, q := range qs {
+		baseline[i], baselineOK[i] = s.Ask(q)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := range qs {
+				got, ok, err := sv.Ask(ctx, qs[(g+i)%len(qs)])
+				want := baseline[(g+i)%len(qs)]
+				wantOK := baselineOK[(g+i)%len(qs)]
+				if err != nil || ok != wantOK || got.Value != want.Value {
+					t.Errorf("g%d: Ask(%q) = (%q, %v, %v), want (%q, %v)",
+						g, qs[(g+i)%len(qs)], got.Value, ok, err, want.Value, wantOK)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	m := sv.Metrics()
+	if m.CacheHits+m.CacheMisses != m.Served {
+		t.Errorf("hits(%d) + misses(%d) != served(%d)", m.CacheHits, m.CacheMisses, m.Served)
+	}
+	if m.Stages["total"].Count != m.Served {
+		t.Errorf("total stage count %d != served %d", m.Stages["total"].Count, m.Served)
+	}
+}
