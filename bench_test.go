@@ -8,8 +8,10 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -294,13 +296,15 @@ func BenchmarkDecomposeDP(b *testing.B) {
 	}
 }
 
-// BenchmarkExpandBFS measures the k=3 scan+join expansion over the full KB.
+// BenchmarkExpandBFS measures the sequential k=3 scan+join expansion over
+// the full KB (expand.Expand regardless of store layout, for comparability
+// with earlier commits; the parallel path has BenchmarkExpandParallel).
 func BenchmarkExpandBFS(b *testing.B) {
 	s := benchSuite(b)
 	w := s.World(kbgen.Freebase)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := expand.Expand(w.KB.Store, expand.Config{MaxLen: 3, EndFilter: w.KB.EndFilter})
+		res := expand.Expand(w.KB.Store, expand.Config{MaxLen: 3, EndFilter: w.KB.EndFilter, KeepAllLengths: true})
 		if len(res.Triples) == 0 {
 			b.Fatal("no triples")
 		}
@@ -382,12 +386,12 @@ func BenchmarkAblationReductionOnS(b *testing.B) {
 	}
 	b.Run("reduced", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			expand.Expand(w.KB.Store, expand.Config{MaxLen: 3, Sources: sources, EndFilter: w.KB.EndFilter})
+			expand.Expand(w.KB.Store, expand.Config{MaxLen: 3, Sources: sources, EndFilter: w.KB.EndFilter, KeepAllLengths: true})
 		}
 	})
 	b.Run("all", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			expand.Expand(w.KB.Store, expand.Config{MaxLen: 3, EndFilter: w.KB.EndFilter})
+			expand.Expand(w.KB.Store, expand.Config{MaxLen: 3, EndFilter: w.KB.EndFilter, KeepAllLengths: true})
 		}
 	})
 }
@@ -540,4 +544,114 @@ func BenchmarkDecomposeStats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		decompose.BuildStats(qs, oracle)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-store benches (rdf.ShardedStore + expand.ExpandParallel).
+// ---------------------------------------------------------------------------
+
+var (
+	shardOnce    sync.Once
+	shardKB      *kbgen.KB
+	shardFlat    *rdf.Store
+	shardSharded *rdf.ShardedStore
+)
+
+// shardFixture generates one KB an order of magnitude larger than the eval
+// worlds, so the k-round scan+join dominates and the per-round merge is
+// amortized, then shards it. The flat store and the sharded store share
+// node IDs, so both layouts answer identical queries.
+func shardFixture(b *testing.B) {
+	b.Helper()
+	shardOnce.Do(func() {
+		shardKB = kbgen.Generate(kbgen.Config{Seed: 9, Flavor: kbgen.Freebase, Scale: 150})
+		shardFlat = shardKB.Store.(*rdf.Store)
+		shardSharded = rdf.Shard(shardFlat, 8)
+	})
+}
+
+// BenchmarkExpandParallel compares the sequential k=3 expansion against the
+// one-worker-per-shard expansion across GOMAXPROCS settings. On a machine
+// with >= 4 cores the procs=4 and procs=8 rows should run >= 2x faster than
+// sequential; both paths produce identical results (asserted by
+// TestExpandParallelMatchesSequential).
+func BenchmarkExpandParallel(b *testing.B) {
+	shardFixture(b)
+	cfg := expand.Config{MaxLen: 3, EndFilter: shardKB.EndFilter, KeepAllLengths: true}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(expand.Expand(shardFlat, cfg).Triples) == 0 {
+				b.Fatal("no triples")
+			}
+		}
+	})
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=8/procs=%d", procs), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(expand.ExpandParallel(shardSharded, cfg).Triples) == 0 {
+					b.Fatal("no triples")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProbeSharded measures the online point-probe path V(e, p+) on
+// both layouts under concurrent load: the store serves read-only probes
+// from GOMAXPROCS goroutines, the contention pattern of the serving
+// runtime's worker pool.
+func BenchmarkProbeSharded(b *testing.B) {
+	shardFixture(b)
+	path, ok := shardFlat.ParsePath("marriage→person→name")
+	if !ok {
+		b.Fatal("expanded predicate missing")
+	}
+	ents := shardFlat.Entities()
+	layouts := []struct {
+		name string
+		g    rdf.Graph
+	}{
+		{"flat", shardFlat},
+		{"sharded", shardSharded},
+	}
+	for _, l := range layouts {
+		b.Run(l.name, func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					e := ents[i%len(ents)]
+					l.g.PathObjects(e, path)
+					l.g.Objects(e, 0)
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkLoadNTriples compares sequential parse+index against parse plus
+// parallel per-shard index build on the same serialized KB.
+func BenchmarkLoadNTriples(b *testing.B) {
+	shardFixture(b)
+	var buf bytes.Buffer
+	if err := shardFlat.WriteNTriples(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rdf.ReadNTriples(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded=8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rdf.LoadNTriples(bytes.NewReader(data), 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -208,10 +208,11 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request answer deadline (0 = none)")
 	cacheEntries := flag.Int("cache", 0, "answer cache capacity (0 = default 4096, negative disables)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent engine calls (0 = 4×GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "RDF store subject-hash shards (0 = default, 1 = unsharded)")
 	flag.Parse()
 
 	log.Printf("building %s world...", *flavor)
-	sys, err := kbqa.Build(kbqa.Options{Flavor: *flavor, Seed: *seed})
+	sys, err := kbqa.Build(kbqa.Options{Flavor: *flavor, Seed: *seed, Shards: *shards})
 	if err != nil {
 		log.Fatalf("kbqa-server: %v", err)
 	}

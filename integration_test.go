@@ -109,7 +109,7 @@ func TestKBSerializationPreservesAnswers(t *testing.T) {
 	}
 }
 
-func labelsOf(s *rdf.Store, ids []rdf.ID) []string {
+func labelsOf(s rdf.Graph, ids []rdf.ID) []string {
 	out := make([]string, len(ids))
 	for i, id := range ids {
 		out[i] = text.Normalize(s.Label(id))

@@ -23,10 +23,15 @@ import (
 
 // Step records one executed hop of a complex question.
 type Step struct {
-	Question string // the concrete BFQ answered
-	Template string
-	Path     string
-	Value    string
+	// Question is the concrete bound BFQ whose answer won this step.
+	Question string
+	// Questions lists every bound BFQ actually executed for this step:
+	// execution fans out over all values of the previous step, so a step
+	// may have probed several bindings before one answered best.
+	Questions []string
+	Template  string
+	Path      string
+	Value     string
 }
 
 // Answer is the engine's response to a question.
@@ -52,7 +57,7 @@ func (a Answer) Complex() bool { return len(a.Steps) > 1 }
 // Engine is the online QA engine. All fields except Decomposer are
 // required.
 type Engine struct {
-	KB       *rdf.Store
+	KB       rdf.Graph
 	Taxonomy *concept.Taxonomy
 	Model    *learn.Model
 	// Decomposer, when set, enables complex-question answering.
@@ -71,7 +76,7 @@ type Engine struct {
 // decomposition; per question, Answer wires a δ oracle that rejects spans
 // without a fully-contained entity mention before paying for full
 // interpretation, which keeps the DP's δ evaluations cheap.
-func NewEngine(kb *rdf.Store, tax *concept.Taxonomy, model *learn.Model, stats *decompose.Stats) *Engine {
+func NewEngine(kb rdf.Graph, tax *concept.Taxonomy, model *learn.Model, stats *decompose.Stats) *Engine {
 	e := &Engine{KB: kb, Taxonomy: tax, Model: model}
 	e.sortedTemplates = sortedTemplateKeys(model)
 	if stats != nil {
@@ -191,25 +196,34 @@ func (e *Engine) AnswerTimed(question string) (Answer, Timings, bool) {
 }
 
 func (e *Engine) answer(question string, tm *Timings) (Answer, bool) {
-	if ans, ok := e.answerBFQ(question, tm); ok {
+	// Tokenize and locate entity mentions exactly once; the direct BFQ
+	// attempt and the decomposition fallback share both, so parse time is
+	// paid (and attributed) a single time per question.
+	parseStart := stampIf(tm)
+	qToks := text.Tokenize(question)
+	mentions := extract.FindMentions(e.KB, qToks)
+	tm.lapParse(parseStart)
+	if ans, ok := e.answerFrom(qToks, mentions, tm); ok {
 		return ans, true
 	}
 	if e.Decomposer == nil {
 		return Answer{}, false
 	}
-	toks := text.Tokenize(question)
-	if len(toks) > maxDecomposeTokens {
-		toks = toks[:maxDecomposeTokens]
+	dToks := qToks
+	if len(dToks) > maxDecomposeTokens {
+		// The DP is bounded to the truncated window, so the mention set
+		// handed to its oracle must cover exactly the same tokens.
+		dToks = dToks[:maxDecomposeTokens]
+		parseStart = stampIf(tm)
+		mentions = extract.FindMentions(e.KB, dToks)
+		tm.lapParse(parseStart)
 	}
-	parseStart := stampIf(tm)
-	mentions := extract.FindMentions(e.KB, toks)
-	tm.lapParse(parseStart)
 	if len(mentions) == 0 {
 		return Answer{}, false
 	}
 	d := e.decomposerFor(mentions)
 	matchStart := stampIf(tm)
-	dec, ok := d.Decompose(question)
+	dec, ok := d.DecomposeTokens(dToks)
 	tm.lapMatch(matchStart)
 	if ok && dec.IsComplex() {
 		if ans, ok := e.executeChain(dec, tm); ok {
@@ -227,8 +241,16 @@ func (e *Engine) AnswerBFQ(question string) (Answer, bool) {
 func (e *Engine) answerBFQ(question string, tm *Timings) (Answer, bool) {
 	parseStart := stampIf(tm)
 	qToks := text.Tokenize(question)
+	mentions := extract.FindMentions(e.KB, qToks)
 	tm.lapParse(parseStart)
-	cands := e.interpretations(qToks, tm)
+	return e.answerFrom(qToks, mentions, tm)
+}
+
+// answerFrom runs Eq (7) over pre-tokenized input with its mentions already
+// located, so callers that share the parse (Answer's direct-then-decompose
+// pipeline) don't pay for or double-count it.
+func (e *Engine) answerFrom(qToks []string, mentions []extract.Mention, tm *Timings) (Answer, bool) {
+	cands := e.interpretationsFrom(qToks, mentions, tm)
 	if len(cands) == 0 {
 		return Answer{}, false
 	}
@@ -251,7 +273,12 @@ func (e *Engine) answerBFQ(question string, tm *Timings) (Answer, bool) {
 				byValue[label] = a
 			}
 			a.score += perValue
-			if perValue > a.bestW {
+			// Deterministic winner among equal-weight interpretations:
+			// the model's P(p|t) map iterates in random order, so a plain
+			// first-seen maximum would make the reported (template, path)
+			// flap between runs and between store layouts.
+			if perValue > a.bestW || (perValue == a.bestW && a.bestW > 0 &&
+				(c.path < a.best.path || (c.path == a.best.path && c.template < a.best.template))) {
 				a.bestW = perValue
 				a.best = c
 			}
@@ -299,6 +326,12 @@ func (e *Engine) interpretations(qToks []string, tm *Timings) []interpretation {
 	parseStart := stampIf(tm)
 	mentions := extract.FindMentions(e.KB, qToks)
 	tm.lapParse(parseStart)
+	return e.interpretationsFrom(qToks, mentions, tm)
+}
+
+// interpretationsFrom is interpretations with the mention lookup hoisted
+// out, for callers that already hold the mentions of qToks.
+func (e *Engine) interpretationsFrom(qToks []string, mentions []extract.Mention, tm *Timings) []interpretation {
 	if len(mentions) == 0 {
 		return nil
 	}
@@ -321,7 +354,16 @@ func (e *Engine) interpretations(qToks []string, tm *Timings) []interpretation {
 				if len(dist) == 0 {
 					continue
 				}
-				for pathKey, ppt := range dist {
+				// Iterate the distribution in sorted-key order: cands
+				// order feeds float accumulation in answerFrom, and map
+				// order would make near-tied answers flap across runs.
+				pathKeys := make([]string, 0, len(dist))
+				for pathKey := range dist {
+					pathKeys = append(pathKeys, pathKey)
+				}
+				sort.Strings(pathKeys)
+				for _, pathKey := range pathKeys {
+					ppt := dist[pathKey]
 					if ppt <= 0 {
 						continue
 					}
@@ -366,10 +408,11 @@ func (e *Engine) executeChain(dec decompose.Decomposition, tm *Timings) (Answer,
 		return Answer{}, false
 	}
 	steps := []Step{{
-		Question: dec.Sequence[0],
-		Template: first.Template,
-		Path:     first.Path,
-		Value:    first.Value,
+		Question:  dec.Sequence[0],
+		Questions: []string{dec.Sequence[0]},
+		Template:  first.Template,
+		Path:      first.Path,
+		Value:     first.Value,
 	}}
 	current := first.Values
 	if len(current) > maxVals {
@@ -380,9 +423,12 @@ func (e *Engine) executeChain(dec decompose.Decomposition, tm *Timings) (Answer,
 	for _, pat := range dec.Sequence[1:] {
 		valueSet := make(map[string]bool)
 		var stepAnswer Answer
+		var stepQuestion string
+		executed := make([]string, 0, len(current))
 		answered := false
 		for _, v := range current {
 			q := decompose.Bind(pat, v)
+			executed = append(executed, q)
 			ans, ok := e.answerBFQ(q, tm)
 			if !ok {
 				continue
@@ -390,6 +436,7 @@ func (e *Engine) executeChain(dec decompose.Decomposition, tm *Timings) (Answer,
 			answered = true
 			if !ans.less(stepAnswer) {
 				stepAnswer = ans
+				stepQuestion = q
 			}
 			for _, nv := range ans.Values {
 				valueSet[nv] = true
@@ -407,10 +454,11 @@ func (e *Engine) executeChain(dec decompose.Decomposition, tm *Timings) (Answer,
 			next = next[:maxVals]
 		}
 		steps = append(steps, Step{
-			Question: decompose.Bind(pat, steps[len(steps)-1].Value),
-			Template: stepAnswer.Template,
-			Path:     stepAnswer.Path,
-			Value:    stepAnswer.Value,
+			Question:  stepQuestion,
+			Questions: executed,
+			Template:  stepAnswer.Template,
+			Path:      stepAnswer.Path,
+			Value:     stepAnswer.Value,
 		})
 		current = next
 		final = stepAnswer
@@ -430,10 +478,18 @@ func (e *Engine) executeChain(dec decompose.Decomposition, tm *Timings) (Answer,
 	return final, true
 }
 
-// less orders answers by score for picking the strongest step answer.
+// less orders answers by score for picking the strongest step answer; the
+// trailing tie-breaks keep chain execution deterministic when two bindings
+// answer with exactly the same mass.
 func (a Answer) less(b Answer) bool {
 	if a.Score != b.Score {
 		return a.Score < b.Score
 	}
-	return a.Value > b.Value
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	if a.Path != b.Path {
+		return a.Path > b.Path
+	}
+	return a.Template > b.Template
 }

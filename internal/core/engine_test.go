@@ -219,6 +219,43 @@ func TestComplexAnswerHasSteps(t *testing.T) {
 	}
 }
 
+// TestChainTraceRecordsExecutedQuestions checks the executeChain trace: the
+// recorded Step.Question must be a question the engine actually executed
+// (the winning binding of the previous step's values), not a question
+// fabricated from the previous step's single argmax value, and Questions
+// must list the full fan-out.
+func TestChainTraceRecordsExecutedQuestions(t *testing.T) {
+	f := world(t)
+	path, _ := f.kb.Store.ParsePath("marriage→person→name")
+	var subject string
+	for _, p := range f.kb.ByCategory["person"] {
+		if len(f.kb.Store.PathObjects(p, path)) > 0 {
+			subject = f.kb.Store.Label(p)
+			break
+		}
+	}
+	q := "When was " + text.TitleCase(subject) + "'s wife born?"
+	ans, ok := f.engine.Answer(q)
+	if !ok || !ans.Complex() {
+		t.Fatalf("no decomposed answer for %q", q)
+	}
+	for i, st := range ans.Steps {
+		if len(st.Questions) == 0 {
+			t.Fatalf("step %d records no executed questions", i)
+		}
+		found := false
+		for _, exec := range st.Questions {
+			if exec == st.Question {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("step %d: winning question %q not among executed %q", i, st.Question, st.Questions)
+		}
+	}
+}
+
 func TestAnswerFallsBackToBFQ(t *testing.T) {
 	f := world(t)
 	city := f.kb.Store.Label(f.kb.ByCategory["city"][0])

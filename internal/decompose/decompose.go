@@ -101,7 +101,13 @@ type Decomposer struct {
 // question, or ok=false when no valid decomposition exists (P(A) = 0 for
 // all A).
 func (d *Decomposer) Decompose(question string) (Decomposition, bool) {
-	toks := text.Tokenize(question)
+	return d.DecomposeTokens(text.Tokenize(question))
+}
+
+// DecomposeTokens is Decompose over a pre-tokenized question, for callers
+// (the online engine) that have already tokenized it once and must hand
+// the DP exactly the token window their δ-oracle mentions were located in.
+func (d *Decomposer) DecomposeTokens(toks []string) (Decomposition, bool) {
 	if max := d.MaxQuestionTokens; max > 0 && len(toks) > max {
 		toks = toks[:max]
 	}

@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/kbgen"
+	"repro/internal/rdf"
+)
+
+// TestShardedWorldAnswersIdentical is the layout-equivalence gate: a world
+// built on the sharded store must return exactly the answers of a world
+// built on the single-map store, for the full training corpus and for
+// composed complex questions. The layouts share the generation seed, so
+// node IDs, the learned model and the decomposition statistics all match;
+// any divergence is a sharded read path misbehaving.
+func TestShardedWorldAnswersIdentical(t *testing.T) {
+	cfg := DefaultWorldConfig(kbgen.Freebase)
+	cfg.Shards = 1
+	flat := BuildWorld(cfg)
+	cfg.Shards = 4
+	sharded := BuildWorld(cfg)
+
+	if _, ok := flat.KB.Store.(*rdf.Store); !ok {
+		t.Fatalf("flat world store is %T", flat.KB.Store)
+	}
+	if _, ok := sharded.KB.Store.(*rdf.ShardedStore); !ok {
+		t.Fatalf("sharded world store is %T", sharded.KB.Store)
+	}
+	if flat.KB.Store.NumTriples() != sharded.KB.Store.NumTriples() {
+		t.Fatalf("triple counts diverge: %d vs %d",
+			flat.KB.Store.NumTriples(), sharded.KB.Store.NumTriples())
+	}
+
+	qs := corpus.Questions(flat.Pairs)
+	if len(qs) == 0 {
+		t.Fatal("no corpus questions")
+	}
+	for _, cp := range corpus.ComposeComplex(flat.KB, 17, 20) {
+		qs = append(qs, cp.Q)
+	}
+	diverged := 0
+	for _, q := range qs {
+		a, aok := flat.Engine.Answer(q)
+		b, bok := sharded.Engine.Answer(q)
+		if aok != bok {
+			t.Errorf("answerability diverges for %q: %v vs %v", q, aok, bok)
+			diverged++
+		} else if aok {
+			if a.Value != b.Value || !reflect.DeepEqual(a.Values, b.Values) ||
+				a.Path != b.Path || a.Template != b.Template {
+				t.Errorf("answer diverges for %q:\n  flat:    %q %v (%s)\n  sharded: %q %v (%s)",
+					q, a.Value, a.Values, a.Path, b.Value, b.Values, b.Path)
+				diverged++
+			}
+		}
+		if diverged > 5 {
+			t.Fatal("too many divergences, stopping")
+		}
+	}
+	t.Logf("compared %d questions across layouts", len(qs))
+}
+
+// TestShardedWorldVariantsIdentical extends the gate to the ranking,
+// comparison and listing variants, which exercise the Subjects reverse
+// index (the one read path whose result order legitimately differs across
+// layouts — answers must not).
+func TestShardedWorldVariantsIdentical(t *testing.T) {
+	cfg := DefaultWorldConfig(kbgen.Freebase)
+	cfg.Shards = 1
+	flat := BuildWorld(cfg)
+	cfg.Shards = 4
+	sharded := BuildWorld(cfg)
+
+	qs := []string{
+		"Which city has the largest population?",
+		"Which city has the 3rd largest population?",
+		"List cities by population",
+	}
+	for _, q := range qs {
+		a, aok := flat.Engine.AnswerVariant(q)
+		b, bok := sharded.Engine.AnswerVariant(q)
+		if aok != bok {
+			t.Errorf("variant answerability diverges for %q: %v vs %v", q, aok, bok)
+			continue
+		}
+		if !aok {
+			continue
+		}
+		if !reflect.DeepEqual(a.Entities, b.Entities) || !reflect.DeepEqual(a.Values, b.Values) || a.Path != b.Path {
+			t.Errorf("variant answer diverges for %q:\n  flat:    %v %v\n  sharded: %v %v",
+				q, a.Entities, a.Values, b.Entities, b.Values)
+		}
+	}
+}

@@ -19,6 +19,12 @@ type WorldConfig struct {
 	Scale          int
 	PairsPerIntent int
 	NoiseRate      float64
+	// Shards > 1 builds the knowledge base as an rdf.ShardedStore with
+	// that many subject-hash shards: predicate expansion runs one worker
+	// per shard (expand.ExpandParallel) and online probes hash to their
+	// shard. <= 1 keeps the single-map store. Answers are identical
+	// either way; only the layout and parallelism change.
+	Shards int
 }
 
 // DefaultWorldConfig returns the configuration used by the experiment
@@ -38,7 +44,7 @@ func DefaultWorldConfig(f kbgen.Flavor) WorldConfig {
 	case kbgen.DBpedia:
 		pairs = 28
 	}
-	return WorldConfig{Flavor: f, Seed: 42, Scale: 30, PairsPerIntent: pairs, NoiseRate: 0.15}
+	return WorldConfig{Flavor: f, Seed: 42, Scale: 30, PairsPerIntent: pairs, NoiseRate: 0.15, Shards: 4}
 }
 
 // World bundles a fully built and trained KBQA instance with everything
@@ -86,7 +92,7 @@ func BuildWorld(cfg WorldConfig) *World {
 		cfg.PairsPerIntent = 40
 	}
 	w := &World{Cfg: cfg}
-	w.KB = kbgen.Generate(kbgen.Config{Seed: cfg.Seed, Flavor: cfg.Flavor, Scale: cfg.Scale})
+	w.KB = kbgen.Generate(kbgen.Config{Seed: cfg.Seed, Flavor: cfg.Flavor, Scale: cfg.Scale, Shards: cfg.Shards})
 	w.Pairs = corpus.Generate(w.KB, corpus.Config{
 		Seed:           cfg.Seed + 1,
 		PairsPerIntent: cfg.PairsPerIntent,

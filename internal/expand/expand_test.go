@@ -30,9 +30,10 @@ func figure1() (*rdf.Store, rdf.ID, rdf.PID) {
 func TestExpandToyKB(t *testing.T) {
 	s, a, name := figure1()
 	res := Expand(s, Config{
-		MaxLen:    3,
-		Sources:   []rdf.ID{a},
-		EndFilter: func(p rdf.PID) bool { return p == name },
+		MaxLen:         3,
+		Sources:        []rdf.ID{a},
+		EndFilter:      func(p rdf.PID) bool { return p == name },
+		KeepAllLengths: true,
 	})
 	if res.Scans != 3 {
 		t.Errorf("Scans = %d, want 3", res.Scans)
@@ -60,8 +61,8 @@ func TestExpandToyKB(t *testing.T) {
 
 func TestExpandReductionOnS(t *testing.T) {
 	s, a, name := figure1()
-	all := Expand(s, Config{MaxLen: 3, EndFilter: func(p rdf.PID) bool { return p == name }})
-	one := Expand(s, Config{MaxLen: 3, Sources: []rdf.ID{a}, EndFilter: func(p rdf.PID) bool { return p == name }})
+	all := Expand(s, Config{MaxLen: 3, EndFilter: func(p rdf.PID) bool { return p == name }, KeepAllLengths: true})
+	one := Expand(s, Config{MaxLen: 3, Sources: []rdf.ID{a}, EndFilter: func(p rdf.PID) bool { return p == name }, KeepAllLengths: true})
 	if len(one.Triples) >= len(all.Triples) {
 		t.Errorf("reduction on s did not reduce: %d vs %d", len(one.Triples), len(all.Triples))
 	}
@@ -83,7 +84,7 @@ func TestExpandReductionOnS(t *testing.T) {
 
 func TestExpandDeterministic(t *testing.T) {
 	s, a, name := figure1()
-	cfg := Config{MaxLen: 3, Sources: []rdf.ID{a}, EndFilter: func(p rdf.PID) bool { return p == name }}
+	cfg := Config{MaxLen: 3, Sources: []rdf.ID{a}, EndFilter: func(p rdf.PID) bool { return p == name }, KeepAllLengths: true}
 	r1 := Expand(s, cfg)
 	r2 := Expand(s, cfg)
 	if len(r1.Triples) != len(r2.Triples) {
@@ -103,7 +104,7 @@ func TestExpandAgainstPathsBetween(t *testing.T) {
 	kb := kbgen.Generate(kbgen.Config{Seed: 11, Flavor: kbgen.DBpedia, Scale: 10})
 	s := kb.Store
 	ents := s.Entities()[:20]
-	res := Expand(s, Config{MaxLen: 3, Sources: ents, EndFilter: kb.EndFilter})
+	res := Expand(s, Config{MaxLen: 3, Sources: ents, EndFilter: kb.EndFilter, KeepAllLengths: true})
 	checked := 0
 	for _, tr := range res.Triples {
 		if len(tr.Path) < 2 || checked > 200 {
@@ -130,7 +131,7 @@ func TestExpandAgainstPathsBetween(t *testing.T) {
 
 func TestDistinctPaths(t *testing.T) {
 	kb := kbgen.Generate(kbgen.Config{Seed: 11, Flavor: kbgen.Freebase, Scale: 10})
-	res := Expand(kb.Store, Config{MaxLen: 3, EndFilter: kb.EndFilter})
+	res := Expand(kb.Store, Config{MaxLen: 3, EndFilter: kb.EndFilter, KeepAllLengths: true})
 	multi := res.DistinctPaths(kb.Store, 3)
 	want := map[string]bool{
 		"marriage→person→name":              false,
@@ -194,7 +195,7 @@ func TestTopEntitiesByFrequency(t *testing.T) {
 
 func TestExpandScannedAccounting(t *testing.T) {
 	s, a, _ := figure1()
-	res := Expand(s, Config{MaxLen: 2, Sources: []rdf.ID{a}})
+	res := Expand(s, Config{MaxLen: 2, Sources: []rdf.ID{a}, KeepAllLengths: true})
 	if res.Scanned != 2*s.NumTriples() {
 		t.Errorf("Scanned = %d, want %d (2 scans of %d triples)", res.Scanned, 2*s.NumTriples(), s.NumTriples())
 	}

@@ -39,7 +39,7 @@ type Mention struct {
 // against the knowledge base's entity labels. Overlapping shorter matches
 // are suppressed by longer ones (leftmost-longest), the standard gazetteer
 // discipline.
-func FindMentions(kb *rdf.Store, toks []string) []Mention {
+func FindMentions(kb rdf.Graph, toks []string) []Mention {
 	var out []Mention
 	i := 0
 	for i < len(toks) {
@@ -124,7 +124,7 @@ type EVPair struct {
 
 // Extractor performs joint entity–value extraction against a knowledge base.
 type Extractor struct {
-	KB *rdf.Store
+	KB rdf.Graph
 	// MaxPathLen bounds the expanded predicates considered when testing
 	// (e, p, v) ∈ K; 1 restricts to direct predicates. The paper uses k=3.
 	MaxPathLen int

@@ -30,6 +30,11 @@ type Config struct {
 	// Scale is the base number of entities per category. Zero means the
 	// default of 50. Actual counts are scaled per flavor and per category.
 	Scale int
+	// Shards > 1 re-partitions the generated store into that many
+	// subject-hash shards (rdf.ShardedStore), with the per-shard indexes
+	// bulk-loaded in parallel. Node IDs, triples and all read results are
+	// identical to the unsharded layout; <= 1 keeps the single-map store.
+	Shards int
 }
 
 // KB bundles a generated knowledge base with the side information the rest
@@ -38,7 +43,7 @@ type Config struct {
 // inventory used by the corpus generator and the evaluation gold labels.
 type KB struct {
 	Flavor     Flavor
-	Store      *rdf.Store
+	Store      rdf.Graph
 	Taxonomy   *concept.Taxonomy
 	Intents    []Intent
 	PredClass  map[rdf.PID]qclass.Class
@@ -146,6 +151,12 @@ func Generate(cfg Config) *KB {
 	// Record predicate classes for every predicate actually created.
 	for _, p := range s.Predicates() {
 		kb.PredClass[p] = predClasses[s.PredName(p)]
+	}
+	if cfg.Shards > 1 {
+		// Re-partition by subject hash; the parallel bulk load inside
+		// Shard is the only concurrency, generation itself stays
+		// deterministic in the seed.
+		kb.Store = rdf.Shard(s, cfg.Shards)
 	}
 	return kb
 }

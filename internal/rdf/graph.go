@@ -1,0 +1,114 @@
+package rdf
+
+import (
+	"io"
+	"sort"
+)
+
+// Graph is the read API of a knowledge base, implemented by both Store and
+// ShardedStore. Everything downstream of generation — extraction, learning,
+// the online engine, the baselines, serialization — only needs this
+// interface, so a system can be wired against either layout.
+type Graph interface {
+	// Node and predicate interning lookups.
+	Label(id ID) string
+	KindOf(id ID) Kind
+	NumNodes() int
+	NodesByLabel(label string) []ID
+	EntitiesByLabel(label string) []ID
+	HasLabel(label string) bool
+	Entities() []ID
+	PredName(p PID) string
+	PredID(name string) (PID, bool)
+	NumPredicates() int
+	Predicates() []PID
+	Key(p Path) string
+	ParsePath(key string) (Path, bool)
+
+	// Index access paths.
+	Objects(subj ID, pred PID) []ID
+	Subjects(pred PID, obj ID) []ID
+	PredicatesBetween(subj, obj ID) []PID
+	OutEdges(subj ID, fn func(p PID, o ID))
+	OutDegree(subj ID) int
+	NumTriples() int
+	Triples(fn func(Triple))
+
+	// Bounded traversal.
+	PathObjects(subj ID, path Path) []ID
+	PathsBetween(subj, obj ID, maxLen int, endFilter func(PID) bool) []Path
+	DirectOrExpandedBetween(subj, obj ID, maxLen int, endFilter func(PID) bool) bool
+
+	// Serialization.
+	WriteNTriples(w io.Writer) error
+}
+
+var (
+	_ Graph = (*Store)(nil)
+	_ Graph = (*ShardedStore)(nil)
+)
+
+// pathObjects is the shared V(e, p+) traversal behind
+// Store.PathObjects and ShardedStore.PathObjects.
+func pathObjects(g Graph, subj ID, path Path) []ID {
+	frontier := []ID{subj}
+	for _, p := range path {
+		var next []ID
+		seen := make(map[ID]bool)
+		for _, n := range frontier {
+			for _, o := range g.Objects(n, p) {
+				if !seen[o] {
+					seen[o] = true
+					next = append(next, o)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		frontier = next
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	return frontier
+}
+
+// pathsBetween is the shared bounded DFS behind Store.PathsBetween and
+// ShardedStore.PathsBetween.
+func pathsBetween(g Graph, subj, obj ID, maxLen int, endFilter func(PID) bool) []Path {
+	var out []Path
+	var walk func(cur ID, prefix Path)
+	walk = func(cur ID, prefix Path) {
+		if len(prefix) >= maxLen {
+			return
+		}
+		g.OutEdges(cur, func(p PID, o ID) {
+			path := append(append(Path{}, prefix...), p)
+			if o == obj {
+				if len(path) == 1 || endFilter == nil || endFilter(p) {
+					out = append(out, path)
+				}
+			}
+			// Continue through mediators and entities (the paper's
+			// marriage→person→name crosses the spouse entity); literals
+			// have no out-edges. Meaningless multi-hop chains are culled
+			// by the end filter, exactly as in Sec 6.3.
+			if g.KindOf(o) != KindLiteral {
+				walk(o, path)
+			}
+		})
+	}
+	walk(subj, nil)
+	return out
+}
+
+// directOrExpandedBetween is the shared membership test behind
+// Store.DirectOrExpandedBetween and ShardedStore.DirectOrExpandedBetween.
+func directOrExpandedBetween(g Graph, subj, obj ID, maxLen int, endFilter func(PID) bool) bool {
+	if len(g.PredicatesBetween(subj, obj)) > 0 {
+		return true
+	}
+	if maxLen <= 1 {
+		return false
+	}
+	return len(g.PathsBetween(subj, obj, maxLen, endFilter)) > 0
+}

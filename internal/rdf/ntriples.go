@@ -24,14 +24,20 @@ import (
 
 // WriteNTriples serializes every triple of the store.
 func (s *Store) WriteNTriples(w io.Writer) error {
+	return writeNTriples(s, w)
+}
+
+// writeNTriples serializes any Graph; both store layouts scan in the same
+// global order, so the two serializations are byte-identical.
+func writeNTriples(g Graph, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var err error
-	s.Triples(func(t Triple) {
+	g.Triples(func(t Triple) {
 		if err != nil {
 			return
 		}
 		_, err = fmt.Fprintf(bw, "%s <%s> %s .\n",
-			s.nodeRef(t.S), escapeIRI(s.predNames[t.P]), s.objectRef(t.O))
+			nodeRef(g, t.S), escapeIRI(g.PredName(t.P)), objectRef(g, t.O))
 	})
 	if err != nil {
 		return fmt.Errorf("rdf: write ntriples: %w", err)
@@ -42,19 +48,19 @@ func (s *Store) WriteNTriples(w io.Writer) error {
 	return nil
 }
 
-func (s *Store) nodeRef(id ID) string {
+func nodeRef(g Graph, id ID) string {
 	kind := "e"
-	if s.kinds[id] == KindMediator {
+	if g.KindOf(id) == KindMediator {
 		kind = "m"
 	}
-	return fmt.Sprintf("<%s/%d/%s>", kind, id, escapeIRI(s.labels[id]))
+	return fmt.Sprintf("<%s/%d/%s>", kind, id, escapeIRI(g.Label(id)))
 }
 
-func (s *Store) objectRef(id ID) string {
-	if s.kinds[id] == KindLiteral {
-		return fmt.Sprintf("%q", s.labels[id])
+func objectRef(g Graph, id ID) string {
+	if g.KindOf(id) == KindLiteral {
+		return fmt.Sprintf("%q", g.Label(id))
 	}
-	return s.nodeRef(id)
+	return nodeRef(g, id)
 }
 
 func escapeIRI(label string) string { return url.PathEscape(label) }
@@ -64,6 +70,33 @@ func escapeIRI(label string) string { return url.PathEscape(label) }
 // fresh ids are assigned.
 func ReadNTriples(r io.Reader) (*Store, error) {
 	s := NewStore()
+	if err := readNTriples(r, &s.symtab, s.Add); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadNTriples parses a serialization produced by WriteNTriples into a new
+// ShardedStore with the given shard count (n <= 0 selects DefaultShards()).
+// Interning is a single sequential pass over the input; the per-shard
+// indexes are then built in parallel, one worker per shard, which is where
+// the bulk-load time goes.
+func LoadNTriples(r io.Reader, shards int) (*ShardedStore, error) {
+	ss := NewShardedStore(shards)
+	var batch []Triple
+	err := readNTriples(r, &ss.symtab, func(subj ID, pred PID, obj ID) {
+		batch = append(batch, Triple{S: subj, P: pred, O: obj})
+	})
+	if err != nil {
+		return nil, err
+	}
+	ss.AddBatch(batch)
+	return ss, nil
+}
+
+// readNTriples is the shared line parser: it interns nodes and predicates
+// into st and hands each parsed triple to add.
+func readNTriples(r io.Reader, st *symtab, add func(ID, PID, ID)) error {
 	nodes := make(map[string]ID) // old "kind/id" -> new id
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -76,46 +109,46 @@ func ReadNTriples(r io.Reader) (*Store, error) {
 		}
 		subj, rest, ok := cutToken(line)
 		if !ok {
-			return nil, fmt.Errorf("rdf: line %d: missing subject", lineNo)
+			return fmt.Errorf("rdf: line %d: missing subject", lineNo)
 		}
 		pred, rest, ok := cutToken(rest)
 		if !ok {
-			return nil, fmt.Errorf("rdf: line %d: missing predicate", lineNo)
+			return fmt.Errorf("rdf: line %d: missing predicate", lineNo)
 		}
 		obj := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "."))
 
-		sID, err := s.resolveNode(nodes, subj)
+		sID, err := st.resolveNode(nodes, subj)
 		if err != nil {
-			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			return fmt.Errorf("rdf: line %d: %w", lineNo, err)
 		}
 		pName, err := parseIRI(pred)
 		if err != nil {
-			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			return fmt.Errorf("rdf: line %d: %w", lineNo, err)
 		}
 		var oID ID
 		if strings.HasPrefix(obj, `"`) {
 			lit, err := unquote(obj)
 			if err != nil {
-				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+				return fmt.Errorf("rdf: line %d: %w", lineNo, err)
 			}
-			oID = s.Literal(lit)
+			oID = st.Literal(lit)
 		} else {
-			oID, err = s.resolveNode(nodes, obj)
+			oID, err = st.resolveNode(nodes, obj)
 			if err != nil {
-				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+				return fmt.Errorf("rdf: line %d: %w", lineNo, err)
 			}
 		}
-		s.Add(sID, s.Pred(pName), oID)
+		add(sID, st.Pred(pName), oID)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("rdf: read ntriples: %w", err)
+		return fmt.Errorf("rdf: read ntriples: %w", err)
 	}
-	return s, nil
+	return nil
 }
 
 // resolveNode maps a `<kind/id/label>` reference to a node in the new
 // store, creating it on first sight.
-func (s *Store) resolveNode(nodes map[string]ID, ref string) (ID, error) {
+func (s *symtab) resolveNode(nodes map[string]ID, ref string) (ID, error) {
 	body, err := parseIRI(ref)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,278 @@
+package rdf
+
+import (
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// ShardedStore is an indexed RDF knowledge base whose triple indexes are
+// partitioned into N shards by subject hash, behind the same read API as
+// Store (the Graph interface). Node and predicate interning stays global —
+// IDs mean the same thing in every shard — so point lookups cost one hash
+// to find the shard plus the usual map probes, while full scans
+// (ShardTriples) and bulk loads (AddBatch) run one worker per shard.
+//
+// This is the layout split the serving runtime needs: the offline predicate
+// expansion is a k-round full scan+join (Sec 6.2) that wants to run wide,
+// while the online path makes point probes V(e, p+) per interpretation;
+// subject-hash partitioning serves both without any change to callers.
+//
+// Like Store, a ShardedStore is safe for concurrent readers once writes
+// have finished; writes (Add, AddBatch) must not race with reads.
+type ShardedStore struct {
+	symtab
+
+	shards  []storeShard
+	triples int
+}
+
+// storeShard holds the triple indexes for the subjects hashed into it.
+type storeShard struct {
+	spo map[ID]map[PID][]ID
+	pos map[PID]map[ID][]ID
+	so  map[ID]map[ID][]PID
+
+	// subjects lists the distinct subjects of this shard in first-Add
+	// order; scans sort it on demand.
+	subjects []ID
+	triples  int
+}
+
+func newStoreShard() storeShard {
+	return storeShard{
+		spo: make(map[ID]map[PID][]ID),
+		pos: make(map[PID]map[ID][]ID),
+		so:  make(map[ID]map[ID][]PID),
+	}
+}
+
+// add inserts one triple into the shard, ignoring duplicates; it reports
+// whether the triple was new.
+func (sh *storeShard) add(subj ID, pred PID, obj ID) bool {
+	pm, ok := sh.spo[subj]
+	if !ok {
+		pm = make(map[PID][]ID)
+		sh.spo[subj] = pm
+		sh.subjects = append(sh.subjects, subj)
+	}
+	for _, o := range pm[pred] {
+		if o == obj {
+			return false // duplicate
+		}
+	}
+	pm[pred] = append(pm[pred], obj)
+
+	om, ok := sh.pos[pred]
+	if !ok {
+		om = make(map[ID][]ID)
+		sh.pos[pred] = om
+	}
+	om[obj] = append(om[obj], subj)
+
+	sm, ok := sh.so[subj]
+	if !ok {
+		sm = make(map[ID][]PID)
+		sh.so[subj] = sm
+	}
+	sm[obj] = append(sm[obj], pred)
+
+	sh.triples++
+	return true
+}
+
+// DefaultShards is the shard count used when a caller passes n <= 0:
+// one shard per available core, capped so tiny machines and huge ones both
+// get a sensible layout.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// NewShardedStore returns an empty knowledge base partitioned into n
+// subject-hash shards (n <= 0 selects DefaultShards()).
+func NewShardedStore(n int) *ShardedStore {
+	if n <= 0 {
+		n = DefaultShards()
+	}
+	ss := &ShardedStore{symtab: newSymtab(), shards: make([]storeShard, n)}
+	for i := range ss.shards {
+		ss.shards[i] = newStoreShard()
+	}
+	return ss
+}
+
+// NumShards returns the shard count.
+func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
+
+// shardOf maps a subject to its owning shard. Node IDs are dense, so a
+// multiplicative (Fibonacci) hash spreads consecutive IDs — which the
+// generator assigns category by category — evenly across shards.
+func (ss *ShardedStore) shardOf(id ID) int {
+	return int((uint32(id) * 2654435761) % uint32(len(ss.shards)))
+}
+
+// Add records the triple (subj, pred, obj). Duplicate triples are ignored.
+func (ss *ShardedStore) Add(subj ID, pred PID, obj ID) {
+	if ss.shards[ss.shardOf(subj)].add(subj, pred, obj) {
+		ss.triples++
+	}
+}
+
+// AddFact is the convenience form of Add for generator code: subject entity
+// label, predicate name, literal object label.
+func (ss *ShardedStore) AddFact(subj, pred, objLiteral string) {
+	ss.Add(ss.Entity(subj), ss.Pred(pred), ss.Literal(objLiteral))
+}
+
+// AddBatch bulk-loads a batch of triples, building every shard's indexes in
+// parallel: the batch is partitioned by subject hash in one sequential pass
+// and then inserted by one worker per shard. Triples already present (in
+// the store or duplicated inside the batch) are ignored, exactly as with
+// Add. The IDs must already be interned.
+func (ss *ShardedStore) AddBatch(batch []Triple) {
+	parts := make([][]Triple, len(ss.shards))
+	for _, t := range batch {
+		i := ss.shardOf(t.S)
+		parts[i] = append(parts[i], t)
+	}
+	added := make([]int, len(ss.shards))
+	var wg sync.WaitGroup
+	for i := range ss.shards {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := &ss.shards[i]
+			for _, t := range parts[i] {
+				if sh.add(t.S, t.P, t.O) {
+					added[i]++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, n := range added {
+		ss.triples += n
+	}
+}
+
+// Shard re-partitions a Store into n subject-hash shards (n <= 0 selects
+// DefaultShards()). The interning tables are taken over, not copied, so the
+// source store must not be written to afterwards; the per-shard indexes are
+// rebuilt in parallel, one worker per shard.
+func Shard(s *Store, n int) *ShardedStore {
+	ss := NewShardedStore(n)
+	ss.symtab = s.symtab
+	batch := make([]Triple, 0, s.NumTriples())
+	s.Triples(func(t Triple) { batch = append(batch, t) })
+	ss.AddBatch(batch)
+	return ss
+}
+
+// Objects returns V(e,p): all objects o with (subj, pred, o) in K. The
+// returned slice is owned by the store and must not be mutated.
+func (ss *ShardedStore) Objects(subj ID, pred PID) []ID {
+	return ss.shards[ss.shardOf(subj)].spo[subj][pred]
+}
+
+// Subjects returns all subjects with (s, pred, obj) in K, in ascending ID
+// order. (Store returns insertion order; the sharded layout spreads
+// insertion across shards, so ascending ID is the deterministic merge.)
+func (ss *ShardedStore) Subjects(pred PID, obj ID) []ID {
+	var out []ID
+	for i := range ss.shards {
+		out = append(out, ss.shards[i].pos[pred][obj]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PredicatesBetween returns every direct predicate connecting subj to obj.
+func (ss *ShardedStore) PredicatesBetween(subj, obj ID) []PID {
+	return ss.shards[ss.shardOf(subj)].so[subj][obj]
+}
+
+// OutEdges iterates over the out-neighbourhood of subj, calling fn for each
+// (pred, obj) pair. Iteration order over predicates is sorted for
+// determinism.
+func (ss *ShardedStore) OutEdges(subj ID, fn func(p PID, o ID)) {
+	outEdges(ss.shards[ss.shardOf(subj)].spo[subj], fn)
+}
+
+// OutDegree returns the number of triples with subj as subject.
+func (ss *ShardedStore) OutDegree(subj ID) int {
+	n := 0
+	for _, objs := range ss.shards[ss.shardOf(subj)].spo[subj] {
+		n += len(objs)
+	}
+	return n
+}
+
+// NumTriples returns the number of distinct triples across all shards.
+func (ss *ShardedStore) NumTriples() int { return ss.triples }
+
+// Triples iterates over every triple in the store in the same deterministic
+// global order as Store.Triples (ascending subject, sorted predicate,
+// insertion order of objects), regardless of the shard layout.
+func (ss *ShardedStore) Triples(fn func(Triple)) {
+	for subj := ID(0); int(subj) < len(ss.labels); subj++ {
+		pm, ok := ss.shards[ss.shardOf(subj)].spo[subj]
+		if !ok {
+			continue
+		}
+		subjectTriples(subj, pm, fn)
+	}
+}
+
+// ShardTriples iterates over the triples of shard i only, in ascending
+// subject order (then sorted predicate, insertion order of objects). The
+// shards partition the subjects, so running ShardTriples for every shard
+// visits each triple exactly once; workers on distinct shards may run
+// concurrently.
+func (ss *ShardedStore) ShardTriples(i int, fn func(Triple)) {
+	sh := &ss.shards[i]
+	subjects := make([]ID, len(sh.subjects))
+	copy(subjects, sh.subjects)
+	sort.Slice(subjects, func(a, b int) bool { return subjects[a] < subjects[b] })
+	for _, subj := range subjects {
+		subjectTriples(subj, sh.spo[subj], fn)
+	}
+}
+
+// ShardSize returns the number of triples held by shard i, for balance
+// diagnostics.
+func (ss *ShardedStore) ShardSize(i int) int { return ss.shards[i].triples }
+
+// PathObjects returns every object reachable from subj by traversing the
+// path, i.e. V(e, p+) for an expanded predicate (Sec 6.1 "online part").
+func (ss *ShardedStore) PathObjects(subj ID, path Path) []ID {
+	return pathObjects(ss, subj, path)
+}
+
+// PathsBetween returns every predicate path of length at most maxLen
+// leading from subj to obj; see Store.PathsBetween.
+func (ss *ShardedStore) PathsBetween(subj, obj ID, maxLen int, endFilter func(PID) bool) []Path {
+	return pathsBetween(ss, subj, obj, maxLen, endFilter)
+}
+
+// DirectOrExpandedBetween reports whether any direct predicate or any
+// expanded predicate of length <= maxLen connects subj and obj.
+func (ss *ShardedStore) DirectOrExpandedBetween(subj, obj ID, maxLen int, endFilter func(PID) bool) bool {
+	return directOrExpandedBetween(ss, subj, obj, maxLen, endFilter)
+}
+
+// WriteNTriples serializes every triple of the store; the output is
+// identical to the unsharded store's serialization.
+func (ss *ShardedStore) WriteNTriples(w io.Writer) error {
+	return writeNTriples(ss, w)
+}

@@ -8,14 +8,15 @@
 // connect e and v", and bounded path traversal, all of which are provided
 // here with O(1) index lookups so the online O(|P|) complexity claim of
 // Sec 3.3 is preserved.
+//
+// Two implementations of the read API (the Graph interface) exist: Store,
+// a single-map store, and ShardedStore, which partitions the indexes by
+// subject hash so full scans and bulk loads can run one worker per shard.
 package rdf
 
 import (
 	"fmt"
 	"sort"
-	"strings"
-
-	"repro/internal/text"
 )
 
 // ID identifies a node (entity, mediator, or literal) in the store.
@@ -63,19 +64,7 @@ type Triple struct {
 // Store is an in-memory indexed RDF knowledge base. The zero value is not
 // usable; construct with NewStore.
 type Store struct {
-	labels []string // node ID -> surface label
-	kinds  []Kind   // node ID -> kind
-
-	predNames []string       // PID -> name
-	predIDs   map[string]PID // name -> PID
-
-	// byLabel maps a normalized label to all nodes carrying it. Entity
-	// names are deliberately allowed to be ambiguous (several nodes, one
-	// label) — entity linking uncertainty is a core motivation for the
-	// paper's probabilistic model.
-	byLabel map[string][]ID
-
-	litIDs map[string]ID // interned literals: normalized label -> node
+	symtab
 
 	spo map[ID]map[PID][]ID
 	pos map[PID]map[ID][]ID
@@ -87,90 +76,12 @@ type Store struct {
 // NewStore returns an empty knowledge base.
 func NewStore() *Store {
 	return &Store{
-		predIDs: make(map[string]PID),
-		byLabel: make(map[string][]ID),
-		litIDs:  make(map[string]ID),
-		spo:     make(map[ID]map[PID][]ID),
-		pos:     make(map[PID]map[ID][]ID),
-		so:      make(map[ID]map[ID][]PID),
+		symtab: newSymtab(),
+		spo:    make(map[ID]map[PID][]ID),
+		pos:    make(map[PID]map[ID][]ID),
+		so:     make(map[ID]map[ID][]PID),
 	}
 }
-
-func (s *Store) newNode(label string, kind Kind) ID {
-	id := ID(len(s.labels))
-	s.labels = append(s.labels, label)
-	s.kinds = append(s.kinds, kind)
-	key := text.Normalize(label)
-	if key != "" {
-		s.byLabel[key] = append(s.byLabel[key], id)
-	}
-	return id
-}
-
-// Entity returns the node for the named entity, creating it on first use.
-// Repeated calls with the same (normalized) label return the same node.
-func (s *Store) Entity(label string) ID {
-	key := text.Normalize(label)
-	for _, id := range s.byLabel[key] {
-		if s.kinds[id] == KindEntity {
-			return id
-		}
-	}
-	return s.newNode(label, KindEntity)
-}
-
-// NewAmbiguousEntity always creates a fresh entity node with the given
-// label, even when other entities already carry it. This is how the
-// synthetic KB reproduces surface-form ambiguity (two "Springfield"s).
-func (s *Store) NewAmbiguousEntity(label string) ID {
-	return s.newNode(label, KindEntity)
-}
-
-// Mediator creates a fresh anonymous structure node. The label is only used
-// for debugging output.
-func (s *Store) Mediator(label string) ID {
-	return s.newNode(label, KindMediator)
-}
-
-// Literal returns the interned node for a literal value.
-func (s *Store) Literal(label string) ID {
-	key := text.Normalize(label)
-	if id, ok := s.litIDs[key]; ok {
-		return id
-	}
-	id := s.newNode(label, KindLiteral)
-	s.litIDs[key] = id
-	return id
-}
-
-// Pred interns a predicate name and returns its PID.
-func (s *Store) Pred(name string) PID {
-	if id, ok := s.predIDs[name]; ok {
-		return id
-	}
-	id := PID(len(s.predNames))
-	s.predNames = append(s.predNames, name)
-	s.predIDs[name] = id
-	return id
-}
-
-// PredID looks up an existing predicate by name.
-func (s *Store) PredID(name string) (PID, bool) {
-	id, ok := s.predIDs[name]
-	return id, ok
-}
-
-// PredName returns the name of p. It panics on an unknown PID: predicate IDs
-// only ever come from this store, so an unknown one is a bug.
-func (s *Store) PredName(p PID) string {
-	return s.predNames[p]
-}
-
-// Label returns the surface label of a node.
-func (s *Store) Label(id ID) string { return s.labels[id] }
-
-// KindOf returns the node kind.
-func (s *Store) KindOf(id ID) Kind { return s.kinds[id] }
 
 // Add records the triple (subj, pred, obj). Duplicate triples are ignored.
 func (s *Store) Add(subj ID, pred PID, obj ID) {
@@ -229,7 +140,12 @@ func (s *Store) PredicatesBetween(subj, obj ID) []PID {
 // (pred, obj) pair. Iteration order over predicates is sorted for
 // determinism.
 func (s *Store) OutEdges(subj ID, fn func(p PID, o ID)) {
-	pm := s.spo[subj]
+	outEdges(s.spo[subj], fn)
+}
+
+// outEdges iterates a subject's predicate map in sorted-predicate order,
+// shared by Store and ShardedStore.
+func outEdges(pm map[PID][]ID, fn func(p PID, o ID)) {
 	preds := make([]PID, 0, len(pm))
 	for p := range pm {
 		preds = append(preds, p)
@@ -242,57 +158,8 @@ func (s *Store) OutEdges(subj ID, fn func(p PID, o ID)) {
 	}
 }
 
-// NodesByLabel returns all nodes whose normalized label equals the
-// normalized form of label.
-func (s *Store) NodesByLabel(label string) []ID {
-	return s.byLabel[text.Normalize(label)]
-}
-
-// EntitiesByLabel returns only the entity nodes carrying the label.
-func (s *Store) EntitiesByLabel(label string) []ID {
-	var out []ID
-	for _, id := range s.byLabel[text.Normalize(label)] {
-		if s.kinds[id] == KindEntity {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// HasLabel reports whether any node (entity or literal) carries the
-// normalized label.
-func (s *Store) HasLabel(label string) bool {
-	return len(s.byLabel[text.Normalize(label)]) > 0
-}
-
-// NumNodes returns the number of nodes in the store.
-func (s *Store) NumNodes() int { return len(s.labels) }
-
 // NumTriples returns the number of distinct triples.
 func (s *Store) NumTriples() int { return s.triples }
-
-// NumPredicates returns the number of distinct predicate names.
-func (s *Store) NumPredicates() int { return len(s.predNames) }
-
-// Predicates returns all predicate IDs in ascending order.
-func (s *Store) Predicates() []PID {
-	out := make([]PID, len(s.predNames))
-	for i := range out {
-		out[i] = PID(i)
-	}
-	return out
-}
-
-// Entities returns every entity node, in ID order.
-func (s *Store) Entities() []ID {
-	var out []ID
-	for id, k := range s.kinds {
-		if k == KindEntity {
-			out = append(out, ID(id))
-		}
-	}
-	return out
-}
 
 // OutDegree returns the number of triples with subj as subject. The paper
 // uses this as the entity "frequency" when sampling trustworthy entities for
@@ -315,71 +182,27 @@ func (s *Store) Triples(fn func(Triple)) {
 		if !ok {
 			continue
 		}
-		preds := make([]PID, 0, len(pm))
-		for p := range pm {
-			preds = append(preds, p)
-		}
-		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
-		for _, p := range preds {
-			for _, o := range pm[p] {
-				fn(Triple{S: subj, P: p, O: o})
-			}
-		}
+		subjectTriples(subj, pm, fn)
 	}
+}
+
+// subjectTriples emits every triple of one subject in deterministic order
+// (sorted predicate, then insertion order of objects).
+func subjectTriples(subj ID, pm map[PID][]ID, fn func(Triple)) {
+	outEdges(pm, func(p PID, o ID) {
+		fn(Triple{S: subj, P: p, O: o})
+	})
 }
 
 // Path is an expanded predicate: a sequence of predicate IDs traversed
 // subject-to-object (Definition 1 in the paper).
 type Path []PID
 
-// Key renders the path in the paper's arrow notation
-// ("marriage→person→name"), the canonical string form used as a model key.
-func (s *Store) Key(p Path) string {
-	parts := make([]string, len(p))
-	for i, pid := range p {
-		parts[i] = s.predNames[pid]
-	}
-	return strings.Join(parts, "→")
-}
-
-// ParsePath converts an arrow-notation key back to a Path. It returns false
-// when any predicate name is unknown.
-func (s *Store) ParsePath(key string) (Path, bool) {
-	parts := strings.Split(key, "→")
-	path := make(Path, len(parts))
-	for i, name := range parts {
-		pid, ok := s.predIDs[name]
-		if !ok {
-			return nil, false
-		}
-		path[i] = pid
-	}
-	return path, true
-}
-
 // PathObjects returns every object reachable from subj by traversing the
 // path, i.e. V(e, p+) for an expanded predicate (Sec 6.1 "online part").
 // Duplicates are removed; result order is deterministic.
 func (s *Store) PathObjects(subj ID, path Path) []ID {
-	frontier := []ID{subj}
-	for _, p := range path {
-		var next []ID
-		seen := make(map[ID]bool)
-		for _, n := range frontier {
-			for _, o := range s.spo[n][p] {
-				if !seen[o] {
-					seen[o] = true
-					next = append(next, o)
-				}
-			}
-		}
-		if len(next) == 0 {
-			return nil
-		}
-		frontier = next
-	}
-	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
-	return frontier
+	return pathObjects(s, subj, path)
 }
 
 // PathsBetween returns every predicate path of length at most maxLen leading
@@ -388,41 +211,12 @@ func (s *Store) PathObjects(subj ID, path Path) []ID {
 // non-nil, must accept the final predicate of any multi-edge path (the paper
 // requires length>=2 paths to end in a name-like predicate, Sec 6.3).
 func (s *Store) PathsBetween(subj, obj ID, maxLen int, endFilter func(PID) bool) []Path {
-	var out []Path
-	var walk func(cur ID, prefix Path)
-	walk = func(cur ID, prefix Path) {
-		if len(prefix) >= maxLen {
-			return
-		}
-		s.OutEdges(cur, func(p PID, o ID) {
-			path := append(append(Path{}, prefix...), p)
-			if o == obj {
-				if len(path) == 1 || endFilter == nil || endFilter(p) {
-					out = append(out, path)
-				}
-			}
-			// Continue through mediators and entities (the paper's
-			// marriage→person→name crosses the spouse entity); literals
-			// have no out-edges. Meaningless multi-hop chains are culled
-			// by the end filter, exactly as in Sec 6.3.
-			if s.kinds[o] != KindLiteral {
-				walk(o, path)
-			}
-		})
-	}
-	walk(subj, nil)
-	return out
+	return pathsBetween(s, subj, obj, maxLen, endFilter)
 }
 
 // DirectOrExpandedBetween reports whether any direct predicate or any
 // expanded predicate of length <= maxLen connects subj and obj. It is the
 // membership test "(e, p, v) ∈ K" of Eq (8) under predicate expansion.
 func (s *Store) DirectOrExpandedBetween(subj, obj ID, maxLen int, endFilter func(PID) bool) bool {
-	if len(s.so[subj][obj]) > 0 {
-		return true
-	}
-	if maxLen <= 1 {
-		return false
-	}
-	return len(s.PathsBetween(subj, obj, maxLen, endFilter)) > 0
+	return directOrExpandedBetween(s, subj, obj, maxLen, endFilter)
 }

@@ -45,6 +45,12 @@ type Options struct {
 	PairsPerIntent int
 	// NoiseRate is the fraction of corrupted training pairs (default 0.15).
 	NoiseRate float64
+	// Shards selects the knowledge-base layout: > 1 partitions the RDF
+	// store into that many subject-hash shards (offline expansion scans
+	// one worker per shard; online probes hash to their shard), 1 forces
+	// the single-map store, and 0 keeps the default (sharded). Answers
+	// are identical across layouts.
+	Shards int
 }
 
 // ParseFlavor converts a flavor name to the kbgen flavor.
@@ -63,7 +69,11 @@ func ParseFlavor(name string) (kbgen.Flavor, error) {
 
 // Step is one hop of an answered complex question.
 type Step struct {
+	// Question is the bound BFQ whose answer won the step; Questions
+	// lists every bound BFQ the step actually executed (execution fans
+	// out over all values of the previous step).
 	Question  string
+	Questions []string
 	Template  string
 	Predicate string
 	Value     string
@@ -110,6 +120,9 @@ func Build(o Options) (*System, error) {
 	}
 	if o.NoiseRate > 0 {
 		cfg.NoiseRate = o.NoiseRate
+	}
+	if o.Shards != 0 {
+		cfg.Shards = o.Shards
 	}
 	return &System{world: eval.BuildWorld(cfg)}, nil
 }

@@ -132,6 +132,7 @@ func answerFromCore(ans core.Answer) Answer {
 	for _, st := range ans.Steps {
 		out.Steps = append(out.Steps, Step{
 			Question:  st.Question,
+			Questions: st.Questions,
 			Template:  st.Template,
 			Predicate: st.Path,
 			Value:     st.Value,
