@@ -532,6 +532,36 @@ func BenchmarkBatchAsk(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryTopK tracks the cost of interpretation ranking in the
+// unified Query API: the engine surfaces the top-5 scored (entity,
+// template, predicate) triples instead of discarding all but the argmax.
+// Compare with BenchmarkServeCold (topK=0 equivalent path) to price the
+// ranking itself.
+func BenchmarkQueryTopK(b *testing.B) {
+	serveFixture(b)
+	ctx := context.Background()
+	sys := serveCold.System()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Query(ctx, serveQs[i%len(serveQs)], kbqa.WithTopK(5), kbqa.WithoutVariants())
+		if err == nil && len(res.Interpretations) == 0 {
+			b.Fatal("no interpretations ranked")
+		}
+	}
+}
+
+// BenchmarkQueryServedTopK is BenchmarkQueryTopK through the serving
+// pipeline's fingerprinted cache: repeats of a (question, topK) pair are
+// resident after the first round.
+func BenchmarkQueryServedTopK(b *testing.B) {
+	serveFixture(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveWarm.Query(ctx, serveQs[i%len(serveQs)], kbqa.WithTopK(5))
+	}
+}
+
 // BenchmarkDecomposeStats measures fv/fo statistics construction.
 func BenchmarkDecomposeStats(b *testing.B) {
 	s := benchSuite(b)

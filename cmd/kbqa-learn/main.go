@@ -29,7 +29,7 @@ func main() {
 		Seed:           *seed,
 		Scale:          *scale,
 		PairsPerIntent: *pairs,
-		NoiseRate:      *noise,
+		NoiseRate:      noise, // flag pointer: -noise 0 now really means noise-free
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbqa-learn:", err)

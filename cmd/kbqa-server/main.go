@@ -1,17 +1,24 @@
 // Command kbqa-server exposes a trained KBQA system over HTTP through the
-// production serving runtime (sharded answer cache, singleflight
-// deduplication, admission control, batch executor, metrics pipeline).
+// production serving runtime (sharded answer cache keyed by question and
+// options, singleflight deduplication, admission control, batch executor,
+// metrics pipeline) on top of the unified Query API.
 //
 // Endpoints:
 //
-//	GET  /ask?q=<question>  -> JSON answer (404 JSON when unanswerable)
-//	POST /batch             -> {"questions": [...]} -> ordered answers
-//	GET  /metrics           -> serving-runtime counters and latency histograms
-//	GET  /stats             -> system statistics
-//	GET  /health            -> liveness probe
+//	GET  /ask?q=<question>[&topk=N]  -> JSON answer with ranked
+//	     interpretations; failures carry a stable error_code
+//	     (no_entity, no_template, no_answer, timeout, ...)
+//	POST /batch                      -> {"questions": [...], "topk": N}
+//	     -> ordered answers
+//	GET  /metrics                    -> JSON counters and latency
+//	     histograms; ?format=prometheus (or Accept: text/plain) returns
+//	     the Prometheus text exposition
+//	GET  /stats                      -> system statistics
+//	GET  /health                     -> liveness probe
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// requests before exiting; per-request deadlines reach the engine's probe
+// loops, so expired requests stop working instead of leaking scans.
 //
 // Usage:
 //
@@ -27,6 +34,8 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +49,9 @@ const maxBatchSize = 256
 // so an oversized payload is rejected instead of buffered into memory.
 const maxBatchBodyBytes = 1 << 20
 
+// maxTopK caps client-requested interpretation counts.
+const maxTopK = 32
+
 type server struct {
 	sys *kbqa.System
 	srv *kbqa.Server
@@ -50,26 +62,54 @@ func newServer(sys *kbqa.System, o kbqa.ServerOptions) *server {
 }
 
 type askResponse struct {
-	Question  string      `json:"question"`
-	Answered  bool        `json:"answered"`
-	Answer    string      `json:"answer,omitempty"`
-	Values    []string    `json:"values,omitempty"`
-	Predicate string      `json:"predicate,omitempty"`
-	Template  string      `json:"template,omitempty"`
-	Steps     []kbqa.Step `json:"steps,omitempty"`
-	Error     string      `json:"error,omitempty"`
+	Question        string                `json:"question"`
+	Answered        bool                  `json:"answered"`
+	Answer          string                `json:"answer,omitempty"`
+	Values          []string              `json:"values,omitempty"`
+	Predicate       string                `json:"predicate,omitempty"`
+	Template        string                `json:"template,omitempty"`
+	Steps           []kbqa.Step           `json:"steps,omitempty"`
+	Variant         *kbqa.VariantAnswer   `json:"variant,omitempty"`
+	Interpretations []kbqa.Interpretation `json:"interpretations,omitempty"`
+	Error           string                `json:"error,omitempty"`
+	ErrorCode       string                `json:"error_code,omitempty"`
 }
 
-func toAskResponse(q string, ans kbqa.Answer, answered bool) askResponse {
-	resp := askResponse{Question: q, Answered: answered}
-	if answered {
-		resp.Answer = ans.Value
-		resp.Values = ans.Values
-		resp.Predicate = ans.Predicate
-		resp.Template = ans.Template
-		resp.Steps = ans.Steps
+// toAskResponse renders one Query outcome: a Result when err is nil, the
+// typed failure otherwise.
+func toAskResponse(q string, res *kbqa.Result, err error) askResponse {
+	if err != nil {
+		return askResponse{Question: q, Error: err.Error(), ErrorCode: kbqa.ErrorCode(err)}
+	}
+	resp := askResponse{Question: q, Answered: true, Interpretations: res.Interpretations}
+	if res.Answer != nil {
+		resp.Answer = res.Answer.Value
+		resp.Values = res.Answer.Values
+		resp.Predicate = res.Answer.Predicate
+		resp.Template = res.Answer.Template
+		resp.Steps = res.Answer.Steps
+	}
+	if res.Variant != nil {
+		resp.Variant = res.Variant
+		resp.Answer = strings.Join(res.Variant.Entities, ", ")
 	}
 	return resp
+}
+
+// parseTopK reads a client topk value, clamped to [0, maxTopK]; empty
+// keeps the library default.
+func parseTopK(raw string) ([]kbqa.QueryOption, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k < 0 {
+		return nil, fmt.Errorf("bad topk %q", raw)
+	}
+	if k > maxTopK {
+		k = maxTopK
+	}
+	return []kbqa.QueryOption{kbqa.WithTopK(k)}, nil
 }
 
 func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
@@ -78,22 +118,24 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeJSONStatus(w, http.StatusBadRequest, askResponse{Error: `missing query parameter "q"`})
 		return
 	}
-	ans, answered, err := s.srv.Ask(r.Context(), q)
+	opts, err := parseTopK(r.URL.Query().Get("topk"))
 	if err != nil {
-		writeJSONStatus(w, errStatus(err), askResponse{Question: q, Error: err.Error()})
+		writeJSONStatus(w, http.StatusBadRequest, askResponse{Question: q, Error: err.Error()})
 		return
 	}
-	resp := toAskResponse(q, ans, answered)
-	if !answered {
-		resp.Error = "no answer"
-		writeJSONStatus(w, http.StatusNotFound, resp)
+	res, err := s.srv.Query(r.Context(), q, opts...)
+	if err != nil {
+		writeJSONStatus(w, errStatus(err), toAskResponse(q, nil, err))
 		return
 	}
-	writeJSON(w, resp)
+	writeJSON(w, toAskResponse(q, res, nil))
 }
 
 type batchRequest struct {
 	Questions []string `json:"questions"`
+	// TopK bounds the per-question interpretation count (0 keeps the
+	// library default).
+	TopK int `json:"topk,omitempty"`
 }
 
 type batchResponse struct {
@@ -127,33 +169,51 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			askResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Questions), maxBatchSize)})
 		return
 	}
-	items := s.srv.AskBatch(r.Context(), req.Questions)
+	var opts []kbqa.QueryOption
+	if req.TopK > 0 {
+		k := req.TopK
+		if k > maxTopK {
+			k = maxTopK
+		}
+		opts = append(opts, kbqa.WithTopK(k))
+	}
+	items := s.srv.QueryBatch(r.Context(), req.Questions, opts...)
 	resp := batchResponse{Results: make([]askResponse, len(items))}
-	var firstErr error
-	errored := 0
+	var firstInfraErr error
+	infraErrored := 0
 	for i, it := range items {
-		resp.Results[i] = toAskResponse(it.Question, it.Answer, it.Answered)
-		if it.Err != nil {
-			resp.Results[i].Error = it.Err.Error()
-			errored++
-			if firstErr == nil {
-				firstErr = it.Err
+		resp.Results[i] = toAskResponse(it.Question, it.Result, it.Err)
+		if it.Err != nil && !kbqa.IsUnanswerable(it.Err) {
+			infraErrored++
+			if firstInfraErr == nil {
+				firstInfraErr = it.Err
 			}
-		} else if !it.Answered {
-			resp.Results[i].Error = "no answer"
 		}
 	}
 	// A batch where every item died on a serving-layer error (shutdown,
 	// saturation) should look unhealthy to status-code-based clients, the
-	// same way /ask does; partial failures stay 200 with per-item errors.
-	if errored == len(items) {
-		writeJSONStatus(w, errStatus(firstErr), resp)
+	// same way /ask does; partial failures and unanswerable questions stay
+	// 200 with per-item error codes.
+	if infraErrored == len(items) {
+		writeJSONStatus(w, errStatus(firstInfraErr), resp)
 		return
 	}
 	writeJSON(w, resp)
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the JSON snapshot by default and the Prometheus
+// text exposition when asked via ?format=prometheus or an Accept header
+// preferring text/plain.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	accept := r.Header.Get("Accept")
+	if format == "prometheus" || (format == "" && strings.Contains(accept, "text/plain")) {
+		w.Header().Set("Content-Type", kbqa.PrometheusContentType)
+		if err := s.srv.WriteMetricsPrometheus(w); err != nil {
+			log.Printf("kbqa-server: write prometheus metrics: %v", err)
+		}
+		return
+	}
 	writeJSON(w, s.srv.Metrics())
 }
 
@@ -173,11 +233,13 @@ func (s *server) mux() *http.ServeMux {
 	return mux
 }
 
-// errStatus maps serving-layer errors to HTTP statuses: timeouts to 504,
-// engine bugs to 500 (retrying re-triggers them), shutdown and other
-// transient failures to 503.
+// errStatus maps Query errors to HTTP statuses: typed unanswerable
+// failures to 404, timeouts to 504, engine bugs to 500 (retrying
+// re-triggers them), shutdown and other transient failures to 503.
 func errStatus(err error) int {
 	switch {
+	case kbqa.IsUnanswerable(err):
+		return http.StatusNotFound
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

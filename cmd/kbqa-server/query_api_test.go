@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getAsk(t *testing.T, s *server, path string) (*httptest.ResponseRecorder, askResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.handleAsk(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	var resp askResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON from %s: %v", path, err)
+	}
+	return rec, resp
+}
+
+func TestHandleAskErrorCode(t *testing.T) {
+	s := testServer(t)
+	rec, resp := getAsk(t, s, "/ask?q=why+is+the+sky+blue+at+noon")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+	if resp.ErrorCode != "no_entity" || resp.Error == "" {
+		t.Errorf("response = %+v, want error_code no_entity", resp)
+	}
+}
+
+func TestHandleAskInterpretations(t *testing.T) {
+	s := testServer(t)
+	q := s.sys.SampleQuestions(1)[0]
+	rec, resp := getAsk(t, s, "/ask?q="+escapeQuery(q)+"&topk=4")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !resp.Answered || len(resp.Interpretations) == 0 || len(resp.Interpretations) > 4 {
+		t.Fatalf("response = %+v, want 1..4 interpretations", resp)
+	}
+	if resp.Interpretations[0].Score <= 0 || resp.Interpretations[0].Predicate == "" {
+		t.Errorf("degenerate interpretation: %+v", resp.Interpretations[0])
+	}
+	if rec, _ := getAsk(t, s, "/ask?q="+escapeQuery(q)+"&topk=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bogus topk status = %d, want 400", rec.Code)
+	}
+}
+
+func TestHandleAskVariant(t *testing.T) {
+	s := testServer(t)
+	rec, resp := getAsk(t, s, "/ask?q=Which+city+has+the+largest+population%3F")
+	if rec.Code != http.StatusOK {
+		t.Skipf("variant not answerable in this world: %s", rec.Body.String())
+	}
+	if resp.Variant == nil || resp.Variant.Kind != "ranking" {
+		t.Errorf("variant response = %+v", resp)
+	}
+}
+
+func TestHandleMetricsPrometheus(t *testing.T) {
+	s := testServer(t)
+	// Drive one unanswerable request so the labelled counter is non-empty.
+	getAsk(t, s, "/ask?q=zzz+unanswerable+zzz")
+
+	rec := httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=prometheus", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE kbqa_requests_total counter",
+		"kbqa_query_errors_total{code=",
+		"kbqa_stage_latency_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+
+	// Accept: text/plain negotiates the exposition too; default stays JSON.
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec = httptest.NewRecorder()
+	s.handleMetrics(rec, req)
+	if !strings.Contains(rec.Body.String(), "kbqa_requests_total") {
+		t.Error("Accept: text/plain did not negotiate Prometheus exposition")
+	}
+	rec = httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var m map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Errorf("default /metrics is not JSON: %v", err)
+	}
+}
+
+func TestHandleBatchTopKAndErrorCodes(t *testing.T) {
+	s := testServer(t)
+	qs := s.sys.SampleQuestions(2)
+	body, _ := json.Marshal(batchRequest{Questions: append(qs, "zzz unanswerable zzz"), TopK: 2})
+	rec := postBatch(t, s, string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resp.Results[:2] {
+		if !r.Answered || len(r.Interpretations) == 0 || len(r.Interpretations) > 2 {
+			t.Errorf("answerable slot = %+v, want 1..2 interpretations", r)
+		}
+	}
+	last := resp.Results[len(resp.Results)-1]
+	if last.Answered || last.ErrorCode == "" {
+		t.Errorf("unanswerable slot = %+v, want error_code", last)
+	}
+}

@@ -1,19 +1,24 @@
 // Command kbqa answers questions over a synthesized knowledge base, either
-// one-shot (-q) or as an interactive REPL.
+// one-shot (-q) or as an interactive REPL. Questions of any supported
+// shape route through the unified Query API: binary factoid, complex
+// (multi-hop), and ranking/comparison/listing variants.
 //
 // Usage:
 //
 //	kbqa -flavor freebase -q "What is the population of Dunford?"
 //	kbqa -flavor dbpedia            # interactive
 //	kbqa -samples 10                # print 10 answerable questions and quit
+//	kbqa -q "..." -topk 5           # show the 5 strongest interpretations
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/kbqa"
 )
@@ -25,6 +30,8 @@ func main() {
 	pairs := flag.Int("pairs", 40, "training QA pairs per intent")
 	question := flag.String("q", "", "one-shot question (otherwise interactive)")
 	samples := flag.Int("samples", 0, "print this many answerable sample questions and exit")
+	topk := flag.Int("topk", 3, "ranked interpretations to display")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-question deadline (0 = none)")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "building %s world (seed %d)...\n", *flavor, *seed)
@@ -48,8 +55,12 @@ func main() {
 		}
 		return
 	}
+	opts := []kbqa.QueryOption{kbqa.WithTopK(*topk)}
+	if *timeout > 0 {
+		opts = append(opts, kbqa.WithTimeout(*timeout))
+	}
 	if *question != "" {
-		answer(sys, *question)
+		answer(sys, *question, opts)
 		return
 	}
 
@@ -60,16 +71,28 @@ func main() {
 		if q == "" {
 			continue
 		}
-		answer(sys, q)
+		answer(sys, q, opts)
 	}
 }
 
-func answer(sys *kbqa.System, q string) {
-	ans, ok := sys.Ask(q)
-	if !ok {
-		fmt.Println("no answer (question outside the knowledge base or not a factoid question)")
+func answer(sys *kbqa.System, q string, opts []kbqa.QueryOption) {
+	res, err := sys.Query(context.Background(), q, opts...)
+	if err != nil {
+		fmt.Printf("no answer [%s]: %v\n", kbqa.ErrorCode(err), err)
 		return
 	}
+	if res.Variant != nil {
+		fmt.Printf("%s over %s:\n", res.Variant.Kind, res.Variant.Predicate)
+		for i := range res.Variant.Entities {
+			val := ""
+			if i < len(res.Variant.Values) {
+				val = res.Variant.Values[i]
+			}
+			fmt.Printf("  %2d. %-24s %s\n", i+1, res.Variant.Entities[i], val)
+		}
+		return
+	}
+	ans := res.Answer
 	fmt.Printf("answer:    %s\n", ans.Value)
 	if len(ans.Values) > 1 {
 		fmt.Printf("all:       %s\n", strings.Join(ans.Values, ", "))
@@ -79,4 +102,13 @@ func answer(sys *kbqa.System, q string) {
 	for i, st := range ans.Steps {
 		fmt.Printf("step %d:    %q -> %s (via %s)\n", i+1, st.Question, st.Value, st.Predicate)
 	}
+	if len(res.Interpretations) > 1 {
+		fmt.Println("interpretations:")
+		for i, in := range res.Interpretations {
+			fmt.Printf("  %2d. %.4f  %-28s %s (%s)\n", i+1, in.Score, in.Predicate, in.Entity, in.Template)
+		}
+	}
+	fmt.Printf("timing:    parse %v, match %v, probe %v, total %v\n",
+		res.Timings.Parse.Round(time.Microsecond), res.Timings.Match.Round(time.Microsecond),
+		res.Timings.Probe.Round(time.Microsecond), res.Timings.Total.Round(time.Microsecond))
 }

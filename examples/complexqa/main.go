@@ -1,7 +1,9 @@
 // Complex question answering: the divide-and-conquer pipeline of Sec 5.
 // Questions like "When was X's wife born?" are decomposed into a sequence
 // of binary factoid questions by the dynamic program of Algorithm 2, each
-// hop answered with the probabilistic inference of Sec 3.
+// hop answered with the probabilistic inference of Sec 3. Query returns
+// the per-hop execution trace and stage timings, and a deadline on the
+// context stops a chain between hops instead of fanning out more work.
 //
 // Run with:
 //
@@ -9,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"repro/kbqa"
 )
@@ -25,15 +29,19 @@ func main() {
 	// ComplexQuestions composes two-hop questions over the knowledge base
 	// together with their gold answers, in the style of the paper's
 	// Table 15 ("How many people live in the capital of Japan?").
+	ctx := context.Background()
 	right, total := 0, 0
 	for _, cq := range sys.ComplexQuestions(7, 8) {
 		total++
 		fmt.Printf("Q: %s\n", cq.Q)
-		ans, ok := sys.Ask(cq.Q)
-		if !ok {
-			fmt.Println("   (no answer)")
+		// Multi-hop execution fans out over intermediate values; the
+		// per-question deadline bounds the whole chain.
+		res, err := sys.Query(ctx, cq.Q, kbqa.WithTimeout(5*time.Second))
+		if err != nil {
+			fmt.Printf("   (no answer: %s)\n", kbqa.ErrorCode(err))
 			continue
 		}
+		ans := res.Answer
 		for i, st := range ans.Steps {
 			fmt.Printf("   step %d: %-46q -> %s  [%s]\n", i+1, st.Question, st.Value, st.Predicate)
 		}
@@ -45,7 +53,8 @@ func main() {
 				break
 			}
 		}
-		fmt.Printf("   answer: %s (%s; gold: %s)\n\n", ans.Value, verdict, strings.Join(cq.GoldAnswers, " | "))
+		fmt.Printf("   answer: %s (%s; gold: %s; %v total)\n\n",
+			ans.Value, verdict, strings.Join(cq.GoldAnswers, " | "), res.Timings.Total.Round(time.Microsecond))
 	}
 	fmt.Printf("complex questions answered correctly: %d/%d\n", right, total)
 }

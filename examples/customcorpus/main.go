@@ -1,7 +1,10 @@
 // Custom corpus training: the offline learning pipeline applied to
 // caller-supplied QA pairs. This is how a downstream user adapts the
 // library to their own community-QA data: keep the knowledge base, swap
-// the corpus, relearn P(p|t).
+// the corpus, relearn P(p|t). The corpus here is built noise-free
+// (Noise(0)) — expressible since the Options zero-value fix — and the
+// model swap behind Learn/LoadModel is atomic, so retraining is safe even
+// while queries are in flight.
 //
 // Run with:
 //
@@ -10,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +21,10 @@ import (
 )
 
 func main() {
-	sys, err := kbqa.Build(kbqa.Options{Flavor: "dbpedia", Seed: 11, Scale: 20, PairsPerIntent: 20})
+	sys, err := kbqa.Build(kbqa.Options{
+		Flavor: "dbpedia", Seed: 11, Scale: 20, PairsPerIntent: 20,
+		NoiseRate: kbqa.Noise(0), // a clean corpus, not the 0.15 default
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,17 +47,19 @@ func main() {
 	if err := sys.SaveModel(&buf); err != nil {
 		log.Fatal(err)
 	}
+	size := buf.Len()
 	if err := sys.LoadModel(&buf); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("model round-tripped through %d bytes of gob\n", buf.Len())
+	fmt.Printf("model round-tripped through %d bytes of gob\n", size)
 
+	ctx := context.Background()
 	answered := 0
 	qs := sys.SampleQuestions(10)
 	for _, q := range qs {
-		if ans, ok := sys.Ask(q); ok {
+		if res, err := sys.Query(ctx, q); err == nil {
 			answered++
-			fmt.Printf("%-60s -> %s\n", q, ans.Value)
+			fmt.Printf("%-60s -> %s\n", q, res.Answer.Value)
 		}
 	}
 	fmt.Printf("answered %d/%d sampled questions after retraining\n", answered, len(qs))

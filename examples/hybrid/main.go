@@ -1,7 +1,9 @@
 // Hybrid deployment (Sec 7.3.1, Table 11): KBQA first, a synonym-based
-// engine as fallback. KBQA's refusals on non-factoid questions are exactly
-// the hook a hybrid system needs — composing it with any baseline improves
-// that baseline.
+// engine as fallback, composed with Chain over the Answerer interface.
+// KBQA's typed refusals on non-factoid questions are exactly the hook a
+// hybrid system needs — the chain falls through on unanswerable errors
+// and aborts on context errors, so a timed-out primary never burns the
+// remaining budget on fallbacks.
 //
 // Run with:
 //
@@ -9,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,35 +25,37 @@ func main() {
 	}
 
 	// The built-in baselines are the paper's comparison systems,
-	// reimplemented over the same knowledge base.
-	synonym, err := sys.BuiltinBaseline("synonym")
+	// reimplemented over the same knowledge base and lifted into the
+	// Answerer contract.
+	synonym, err := sys.Baseline("synonym")
 	if err != nil {
 		log.Fatal(err)
 	}
-	hybrid := sys.Fallback(synonym)
+	hybrid := kbqa.Chain(sys, synonym)
 
+	ctx := context.Background()
 	questions := sys.SampleQuestions(12)
 	kbqaOnly, synOnly, both := 0, 0, 0
 	for _, q := range questions {
-		_, kOK := sys.Ask(q)
-		_, sOK := synonym(q)
-		ans, hOK := hybrid(q)
+		_, kErr := sys.Query(ctx, q)
+		_, sErr := synonym.Query(ctx, q)
+		res, hErr := hybrid.Query(ctx, q)
 		switch {
-		case kOK && sOK:
+		case kErr == nil && sErr == nil:
 			both++
-		case kOK:
+		case kErr == nil:
 			kbqaOnly++
-		case sOK:
+		case sErr == nil:
 			synOnly++
 		}
-		if hOK {
+		if hErr == nil {
 			src := "KBQA"
-			if !kOK {
+			if kErr != nil {
 				src = "synonym fallback"
 			}
-			fmt.Printf("%-60s -> %-20s (%s)\n", q, ans.Value, src)
+			fmt.Printf("%-60s -> %-20s (%s)\n", q, res.Answer.Value, src)
 		} else {
-			fmt.Printf("%-60s -> unanswered\n", q)
+			fmt.Printf("%-60s -> unanswered [%s]\n", q, kbqa.ErrorCode(hErr))
 		}
 	}
 	fmt.Printf("\ncoverage: KBQA-only %d, synonym-only %d, both %d of %d questions\n",

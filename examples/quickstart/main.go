@@ -1,5 +1,7 @@
 // Quickstart: build a trained KBQA system over the synthetic Freebase
-// analogue and answer a handful of binary factoid questions.
+// analogue and answer a handful of binary factoid questions through the
+// unified Query API, inspecting the ranked interpretations behind each
+// answer and the typed error classifying each refusal.
 //
 // Run with:
 //
@@ -7,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,19 +30,29 @@ func main() {
 
 	// Ask the paper's flavour of questions. SampleQuestions draws from the
 	// corpus so the demo works for any seed.
+	ctx := context.Background()
 	for _, q := range sys.SampleQuestions(8) {
-		ans, ok := sys.Ask(q)
-		if !ok {
-			fmt.Printf("Q: %-60s -> (no answer)\n", q)
+		res, err := sys.Query(ctx, q, kbqa.WithTopK(3))
+		if err != nil {
+			fmt.Printf("Q: %-60s -> (no answer: %s)\n", q, kbqa.ErrorCode(err))
 			continue
 		}
+		ans := res.Answer
 		fmt.Printf("Q: %-60s\n   A: %-24s via %-28s template %q\n",
 			q, ans.Value, ans.Predicate, ans.Template)
+		// The engine ranks every (entity, template, predicate)
+		// interpretation it scored; the answer is the argmax, but the
+		// runners-up show what the question was almost read as.
+		for i, in := range res.Interpretations[1:] {
+			fmt.Printf("      alt %d: %-28s score %.4f\n", i+2, in.Predicate, in.Score)
+		}
 	}
 
-	// An unanswerable question comes back ok=false rather than a guess —
-	// that refusal is what gives KBQA its precision.
-	if _, ok := sys.Ask("Why is the sky blue?"); !ok {
-		fmt.Println("\n\"Why is the sky blue?\" -> correctly refused (not a factoid question)")
+	// An unanswerable question comes back as a typed error rather than a
+	// guess — that refusal is what gives KBQA its precision, and the
+	// error code tells a hybrid deployment *why* (no entity? no learned
+	// template? no grounding?).
+	if _, err := sys.Query(ctx, "Why is the sky blue?"); err != nil {
+		fmt.Printf("\n\"Why is the sky blue?\" -> refused with error code %q\n", kbqa.ErrorCode(err))
 	}
 }

@@ -2,6 +2,7 @@
 // are answerable, ranking, comparison and listing questions follow for
 // free — the variant engine grounds the comparative/superlative phrase in
 // a predicate through the *learned* templates and aggregates over V(e,p).
+// Query auto-routes them: no separate entry point needed.
 //
 // Run with:
 //
@@ -9,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -22,6 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	questions := []string{
 		"Which city has the 3rd largest population?",
 		"Which city has the smallest population?",
@@ -29,10 +32,16 @@ func main() {
 		"Which mountain has the highest elevation?",
 	}
 	for _, q := range questions {
-		ans, ok := sys.AskVariant(q)
+		res, err := sys.Query(ctx, q)
 		fmt.Printf("Q: %s\n", q)
-		if !ok {
-			fmt.Println("   (not a recognizable variant)")
+		if err != nil {
+			fmt.Printf("   (not answerable: %s)\n", kbqa.ErrorCode(err))
+			continue
+		}
+		ans := res.Variant
+		if ans == nil {
+			// Query routed it through the BFQ pipeline instead.
+			fmt.Printf("   A: %s (BFQ)\n", res.Answer.Value)
 			continue
 		}
 		switch ans.Kind {
@@ -50,11 +59,13 @@ func main() {
 
 	// Comparison needs two concrete entities: take the top two cities from
 	// the listing answer.
-	if list, ok := sys.AskVariant("list cities ordered by population?"); ok && len(list.Entities) >= 2 {
-		big, small := list.Entities[0], list.Entities[len(list.Entities)-1]
+	if list, err := sys.Query(ctx, "list cities ordered by population?"); err == nil &&
+		list.Variant != nil && len(list.Variant.Entities) >= 2 {
+		ents := list.Variant.Entities
+		big, small := ents[0], ents[len(ents)-1]
 		q := fmt.Sprintf("Which city has more people, %s or %s?", big, small)
-		if ans, ok := sys.AskVariant(q); ok {
-			fmt.Printf("Q: %s\n   A: %s (population %s)\n", q, ans.Entities[0], ans.Values[0])
+		if res, err := sys.Query(ctx, q); err == nil && res.Variant != nil {
+			fmt.Printf("Q: %s\n   A: %s (population %s)\n", q, res.Variant.Entities[0], res.Variant.Values[0])
 		}
 	}
 }

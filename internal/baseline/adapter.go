@@ -1,0 +1,38 @@
+package baseline
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// Adapter lifts a System into the context-aware, typed-error contract of
+// the unified query API: cancellation is honoured around the call and the
+// boolean "no answer" becomes core.ErrNoAnswer, so every comparison system
+// composes with KBQA in fallback chains through one signature instead of
+// the per-system side doors the old API grew.
+type Adapter struct {
+	Sys System
+}
+
+// Name reports the wrapped system's name.
+func (a Adapter) Name() string { return a.Sys.Name() }
+
+// Query answers one question. The baselines themselves are synchronous and
+// uninterruptible (their cost is the point of the Table 14 comparison), so
+// cancellation is checked before dispatch and again after: an expired
+// context wins over a concurrently computed answer, keeping the contract
+// aligned with the cancellable KBQA engine.
+func (a Adapter) Query(ctx context.Context, question string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	res, ok := a.Sys.Answer(question)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		return Result{}, core.ErrNoAnswer
+	}
+	return res, nil
+}

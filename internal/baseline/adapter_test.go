@@ -1,0 +1,40 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// scriptedSystem answers a fixed set of questions.
+type scriptedSystem map[string]Result
+
+func (s scriptedSystem) Name() string { return "scripted" }
+func (s scriptedSystem) Answer(q string) (Result, bool) {
+	res, ok := s[q]
+	return res, ok
+}
+
+func TestAdapterTypedErrors(t *testing.T) {
+	ad := Adapter{Sys: scriptedSystem{"known": {Value: "v", Path: "p"}}}
+	ctx := context.Background()
+
+	res, err := ad.Query(ctx, "known")
+	if err != nil || res.Value != "v" {
+		t.Fatalf("Query(known) = (%+v, %v)", res, err)
+	}
+	if _, err := ad.Query(ctx, "unknown"); !errors.Is(err, core.ErrNoAnswer) {
+		t.Fatalf("Query(unknown) err = %v, want core.ErrNoAnswer", err)
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := ad.Query(cancelled, "known"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Query err = %v, want context.Canceled", err)
+	}
+	if ad.Name() != "scripted" {
+		t.Errorf("Name = %q", ad.Name())
+	}
+}

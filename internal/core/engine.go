@@ -6,9 +6,18 @@
 // and the divide-and-conquer pipeline for complex questions (Sec 5):
 // decompose into a BFQ sequence, answer each BFQ, binding every answer into
 // the next question's entity variable.
+//
+// The context-aware entry points (AnswerCtx, AnswerTopK) check cancellation
+// between knowledge-base probes and between chain hops, so a deadline stops
+// work mid-inference on large stores instead of letting an abandoned
+// request run to completion; failures are the typed errors ErrNoEntity,
+// ErrNoTemplate and ErrNoAnswer so callers can tell the failure stages
+// apart.
 package core
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"time"
 
@@ -20,6 +29,30 @@ import (
 	"repro/internal/template"
 	"repro/internal/text"
 )
+
+// Typed failures of the online procedure, ordered by how far the pipeline
+// got before giving up. Context errors (context.Canceled,
+// context.DeadlineExceeded) pass through unwrapped.
+var (
+	// ErrNoEntity: no token span of the question matched an entity label,
+	// so Eq (7)'s summation support is empty before any inference runs.
+	ErrNoEntity = errors.New("kbqa: no entity mention recognized in the question")
+	// ErrNoTemplate: entity mentions were found but no derived template
+	// carries learned P(p|t) mass — the question shape was never observed
+	// in the training corpus.
+	ErrNoTemplate = errors.New("kbqa: no learned template matches the question")
+	// ErrNoAnswer: interpretations existed but knowledge-base probing (or
+	// complex-question decomposition) produced no value — the "null" reply
+	// counted by the paper's #pro metric.
+	ErrNoAnswer = errors.New("kbqa: no answer")
+)
+
+// Unanswerable reports whether err is one of the engine's typed no-answer
+// errors, as opposed to a context or infrastructure failure. Fallback
+// chains retry the next system only on unanswerable errors.
+func Unanswerable(err error) bool {
+	return errors.Is(err, ErrNoEntity) || errors.Is(err, ErrNoTemplate) || errors.Is(err, ErrNoAnswer)
+}
 
 // Step records one executed hop of a complex question.
 type Step struct {
@@ -54,6 +87,22 @@ type Answer struct {
 // Complex reports whether the answer came from a decomposed question.
 func (a Answer) Complex() bool { return len(a.Steps) > 1 }
 
+// Ranked is one scored candidate interpretation of a question: an
+// (entity, template, predicate) triple with its joint Eq (7) weight
+// P(e|q)·P(t|e,q)·P(p|t) and the values it would answer with. AnswerTopK
+// surfaces the strongest K instead of discarding all but the argmax.
+type Ranked struct {
+	Entity      rdf.ID
+	EntityLabel string
+	Template    string
+	Path        string
+	// Score is the interpretation's joint weight. The slice AnswerTopK
+	// returns is sorted by descending Score with deterministic tie-breaks.
+	Score float64
+	// Values are the normalized labels of V(e, p), sorted.
+	Values []string
+}
+
 // Engine is the online QA engine. All fields except Decomposer are
 // required.
 type Engine struct {
@@ -80,7 +129,7 @@ func NewEngine(kb rdf.Graph, tax *concept.Taxonomy, model *learn.Model, stats *d
 	e := &Engine{KB: kb, Taxonomy: tax, Model: model}
 	e.sortedTemplates = sortedTemplateKeys(model)
 	if stats != nil {
-		e.Decomposer = e.decomposerFor(nil)
+		e.Decomposer = e.decomposerFor(context.Background(), nil)
 		e.Decomposer.Stats = stats
 	}
 	return e
@@ -89,20 +138,24 @@ func NewEngine(kb rdf.Graph, tax *concept.Taxonomy, model *learn.Model, stats *d
 // decomposerFor builds a decomposer whose primitive oracle uses the given
 // precomputed mentions (of the question about to be decomposed) as a fast
 // rejection filter. Engines are safe for concurrent Answer calls because
-// each call gets its own oracle closure.
-func (e *Engine) decomposerFor(mentions []extract.Mention) *decompose.Decomposer {
+// each call gets its own oracle closure. The oracle observes ctx so a
+// deadline also aborts the decomposition DP, not just the probe loops.
+func (e *Engine) decomposerFor(ctx context.Context, mentions []extract.Mention) *decompose.Decomposer {
 	d := &decompose.Decomposer{MaxQuestionTokens: maxDecomposeTokens}
 	if e.Decomposer != nil {
 		d.Stats = e.Decomposer.Stats
 	}
 	d.Primitive = func(toks []string, sp text.Span) bool {
+		if ctx.Err() != nil {
+			return false
+		}
 		ms := mentions
 		if ms == nil {
 			ms = extract.FindMentions(e.KB, toks)
 		}
 		for _, m := range ms {
 			if sp.Contains(m.Span) {
-				return e.primitive(toks[sp.Start:sp.End])
+				return e.primitive(ctx, toks[sp.Start:sp.End])
 			}
 		}
 		return false
@@ -181,33 +234,84 @@ func (tm *Timings) lapProbe(start time.Time) {
 // directly; only questions the direct path cannot answer pay for the
 // O(|q|^4) decomposition DP (Sec 5). ok is false when KBQA has no answer
 // (the "null" reply counted by the #pro metric).
+//
+// Answer cannot be cancelled and collapses the failure stages into one
+// bool; prefer AnswerCtx or AnswerTopK for serving traffic.
 func (e *Engine) Answer(question string) (Answer, bool) {
-	return e.answer(question, nil)
+	ans, _, err := e.answer(context.Background(), question, nil, 0)
+	return ans, err == nil
+}
+
+// AnswerCtx is Answer with cancellation and typed failures: the error is
+// ErrNoEntity, ErrNoTemplate or ErrNoAnswer for unanswerable questions
+// (see Unanswerable), or ctx.Err() when the context expires — cancellation
+// is checked between knowledge-base probes and between chain hops, so a
+// deadline aborts the scan instead of letting it run to completion.
+func (e *Engine) AnswerCtx(ctx context.Context, question string) (Answer, error) {
+	ans, _, err := e.answer(ctx, question, nil, 0)
+	return ans, err
+}
+
+// AnswerTopK is AnswerCtx surfacing the top-k ranked interpretations —
+// the scored (entity, template, predicate) triples of Eq (7)'s summation
+// that the argmax otherwise discards — alongside the answer. For a complex
+// question the ranking covers the final hop's winning BFQ. k <= 0 returns
+// no interpretations.
+func (e *Engine) AnswerTopK(ctx context.Context, question string, k int) (Answer, []Ranked, error) {
+	return e.answer(ctx, question, nil, k)
 }
 
 // AnswerTimed is Answer with per-stage latency attribution, the engine's
 // hook for the serving runtime's metrics pipeline.
 func (e *Engine) AnswerTimed(question string) (Answer, Timings, bool) {
-	var tm Timings
-	start := time.Now()
-	ans, ok := e.answer(question, &tm)
-	tm.Total = time.Since(start)
-	return ans, tm, ok
+	ans, _, tm, err := e.AnswerTopKTimed(context.Background(), question, 0)
+	return ans, tm, err == nil
 }
 
-func (e *Engine) answer(question string, tm *Timings) (Answer, bool) {
-	// Tokenize and locate entity mentions exactly once; the direct BFQ
-	// attempt and the decomposition fallback share both, so parse time is
-	// paid (and attributed) a single time per question.
+// AnswerTopKTimed combines AnswerTopK with per-stage latency attribution.
+func (e *Engine) AnswerTopKTimed(ctx context.Context, question string, k int) (Answer, []Ranked, Timings, error) {
+	var tm Timings
+	start := time.Now()
+	ans, ranked, err := e.answer(ctx, question, &tm, k)
+	tm.Total = time.Since(start)
+	return ans, ranked, tm, err
+}
+
+// answer is the shared implementation: tokenize and locate entity mentions
+// exactly once (the direct BFQ attempt and the decomposition fallback share
+// both), try the direct Eq (7) path, then fall back to decomposition.
+func (e *Engine) answer(ctx context.Context, question string, tm *Timings, k int) (Answer, []Ranked, error) {
+	if err := ctx.Err(); err != nil {
+		return Answer{}, nil, err
+	}
 	parseStart := stampIf(tm)
 	qToks := text.Tokenize(question)
 	mentions := extract.FindMentions(e.KB, qToks)
 	tm.lapParse(parseStart)
-	if ans, ok := e.answerFrom(qToks, mentions, tm); ok {
-		return ans, true
+	hadMention := len(mentions) > 0
+
+	cands, sawMass, err := e.interpretationsFrom(ctx, qToks, mentions, tm)
+	if err != nil {
+		return Answer{}, nil, err
 	}
+	if ans, ok := e.aggregate(cands); ok {
+		return ans, e.rankTopK(cands, k), nil
+	}
+
+	// The direct path failed; classify how far it got for the typed error
+	// should decomposition not rescue the question.
+	fail := func() error {
+		if !hadMention {
+			return ErrNoEntity
+		}
+		if !sawMass {
+			return ErrNoTemplate
+		}
+		return ErrNoAnswer
+	}
+
 	if e.Decomposer == nil {
-		return Answer{}, false
+		return Answer{}, nil, fail()
 	}
 	dToks := qToks
 	if len(dToks) > maxDecomposeTokens {
@@ -219,44 +323,66 @@ func (e *Engine) answer(question string, tm *Timings) (Answer, bool) {
 		tm.lapParse(parseStart)
 	}
 	if len(mentions) == 0 {
-		return Answer{}, false
+		return Answer{}, nil, fail()
 	}
-	d := e.decomposerFor(mentions)
+	d := e.decomposerFor(ctx, mentions)
 	matchStart := stampIf(tm)
 	dec, ok := d.DecomposeTokens(dToks)
 	tm.lapMatch(matchStart)
+	if err := ctx.Err(); err != nil {
+		return Answer{}, nil, err
+	}
 	if ok && dec.IsComplex() {
-		if ans, ok := e.executeChain(dec, tm); ok {
-			return ans, true
+		ans, ranked, answered, err := e.executeChain(ctx, dec, tm, k)
+		if err != nil {
+			return Answer{}, nil, err
+		}
+		if answered {
+			return ans, ranked, nil
 		}
 	}
-	return Answer{}, false
+	return Answer{}, nil, fail()
 }
 
 // AnswerBFQ runs Eq (7) on a binary factoid question.
 func (e *Engine) AnswerBFQ(question string) (Answer, bool) {
-	return e.answerBFQ(question, nil)
+	ans, _, err := e.answerBFQ(context.Background(), question, nil)
+	return ans, err == nil
 }
 
-func (e *Engine) answerBFQ(question string, tm *Timings) (Answer, bool) {
+// answerBFQ runs the direct inference path, returning the candidate
+// interpretations alongside the answer so chain execution can rank the
+// winning hop without re-probing.
+func (e *Engine) answerBFQ(ctx context.Context, question string, tm *Timings) (Answer, []interpretation, error) {
 	parseStart := stampIf(tm)
 	qToks := text.Tokenize(question)
 	mentions := extract.FindMentions(e.KB, qToks)
 	tm.lapParse(parseStart)
-	return e.answerFrom(qToks, mentions, tm)
+	cands, sawMass, err := e.interpretationsFrom(ctx, qToks, mentions, tm)
+	if err != nil {
+		return Answer{}, nil, err
+	}
+	ans, ok := e.aggregate(cands)
+	if !ok {
+		switch {
+		case len(mentions) == 0:
+			return Answer{}, nil, ErrNoEntity
+		case !sawMass:
+			return Answer{}, nil, ErrNoTemplate
+		default:
+			return Answer{}, nil, ErrNoAnswer
+		}
+	}
+	return ans, cands, nil
 }
 
-// answerFrom runs Eq (7) over pre-tokenized input with its mentions already
-// located, so callers that share the parse (Answer's direct-then-decompose
-// pipeline) don't pay for or double-count it.
-func (e *Engine) answerFrom(qToks []string, mentions []extract.Mention, tm *Timings) (Answer, bool) {
-	cands := e.interpretationsFrom(qToks, mentions, tm)
+// aggregate accumulates P(v|q) over interpretations and picks the argmax
+// value, remembering the strongest interpretation per value for the trace.
+func (e *Engine) aggregate(cands []interpretation) (Answer, bool) {
 	if len(cands) == 0 {
 		return Answer{}, false
 	}
 
-	// Accumulate P(v|q) over interpretations; remember the strongest
-	// interpretation per value for the trace.
 	type acc struct {
 		score float64
 		best  interpretation
@@ -309,6 +435,72 @@ func (e *Engine) answerFrom(qToks []string, mentions []extract.Mention, tm *Timi
 	}, true
 }
 
+// rankTopK merges the candidate interpretations by (entity, template,
+// path) — summing the Eq (7) mass of duplicates surfaced through distinct
+// mentions — and returns the strongest k, sorted by descending score with
+// deterministic tie-breaks.
+func (e *Engine) rankTopK(cands []interpretation, k int) []Ranked {
+	if k <= 0 || len(cands) == 0 {
+		return nil
+	}
+	type tkey struct {
+		ent       rdf.ID
+		tpl, path string
+	}
+	type merged struct {
+		score float64
+		cand  int // first candidate with this key; duplicates share V(e,p)
+	}
+	byKey := make(map[tkey]*merged, len(cands))
+	order := make([]tkey, 0, len(cands))
+	for i, c := range cands {
+		kk := tkey{c.entity, c.template, c.path}
+		if m := byKey[kk]; m != nil {
+			m.score += c.weight
+			continue
+		}
+		byKey[kk] = &merged{score: c.weight, cand: i}
+		order = append(order, kk)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := byKey[order[i]], byKey[order[j]]
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		if order[i].path != order[j].path {
+			return order[i].path < order[j].path
+		}
+		if order[i].tpl != order[j].tpl {
+			return order[i].tpl < order[j].tpl
+		}
+		return order[i].ent < order[j].ent
+	})
+	if len(order) > k {
+		order = order[:k]
+	}
+	// Label resolution and per-value normalization are deferred to the k
+	// winners; losers cost only their score accumulation above.
+	out := make([]Ranked, len(order))
+	for i, kk := range order {
+		m := byKey[kk]
+		c := cands[m.cand]
+		values := make([]string, 0, len(c.values))
+		for _, v := range c.values {
+			values = append(values, text.Normalize(e.KB.Label(v)))
+		}
+		sort.Strings(values)
+		out[i] = Ranked{
+			Entity:      kk.ent,
+			EntityLabel: text.Normalize(e.KB.Label(kk.ent)),
+			Template:    kk.tpl,
+			Path:        kk.path,
+			Score:       m.score,
+			Values:      values,
+		}
+	}
+	return out
+}
+
 // interpretation is one (e, t, p) triple with its joint weight
 // P(e|q)·P(t|e,q)·P(p|t) and the value set V(e, p).
 type interpretation struct {
@@ -322,18 +514,26 @@ type interpretation struct {
 // interpretations enumerates Eq (7)'s summation support: entities from the
 // question's mentions, templates from conceptualization, predicates from
 // the learned model. tm, when non-nil, accumulates stage latencies.
-func (e *Engine) interpretations(qToks []string, tm *Timings) []interpretation {
+func (e *Engine) interpretations(ctx context.Context, qToks []string, tm *Timings) []interpretation {
 	parseStart := stampIf(tm)
 	mentions := extract.FindMentions(e.KB, qToks)
 	tm.lapParse(parseStart)
-	return e.interpretationsFrom(qToks, mentions, tm)
+	cands, _, err := e.interpretationsFrom(ctx, qToks, mentions, tm)
+	if err != nil {
+		return nil
+	}
+	return cands
 }
 
 // interpretationsFrom is interpretations with the mention lookup hoisted
-// out, for callers that already hold the mentions of qToks.
-func (e *Engine) interpretationsFrom(qToks []string, mentions []extract.Mention, tm *Timings) []interpretation {
+// out, for callers that already hold the mentions of qToks. sawMass
+// reports whether any derived template carried learned P(p|t) mass (the
+// ErrNoTemplate / ErrNoAnswer discriminator); err is non-nil only when ctx
+// expires — checked before every knowledge-base probe, so cancellation
+// aborts the scan mid-flight.
+func (e *Engine) interpretationsFrom(ctx context.Context, qToks []string, mentions []extract.Mention, tm *Timings) (out []interpretation, sawMass bool, err error) {
 	if len(mentions) == 0 {
-		return nil
+		return nil, false, nil
 	}
 	// P(e|q): uniform over all candidate entities across mentions.
 	var totalEntities int
@@ -342,7 +542,6 @@ func (e *Engine) interpretationsFrom(qToks []string, mentions []extract.Mention,
 	}
 	pe := 1.0 / float64(totalEntities)
 
-	var out []interpretation
 	for _, m := range mentions {
 		matchStart := stampIf(tm)
 		tmpls := template.DeriveAll(e.Taxonomy, qToks, m.Span, m.Surface)
@@ -354,8 +553,9 @@ func (e *Engine) interpretationsFrom(qToks []string, mentions []extract.Mention,
 				if len(dist) == 0 {
 					continue
 				}
+				sawMass = true
 				// Iterate the distribution in sorted-key order: cands
-				// order feeds float accumulation in answerFrom, and map
+				// order feeds float accumulation in aggregate, and map
 				// order would make near-tied answers flap across runs.
 				pathKeys := make([]string, 0, len(dist))
 				for pathKey := range dist {
@@ -363,6 +563,10 @@ func (e *Engine) interpretationsFrom(qToks []string, mentions []extract.Mention,
 				}
 				sort.Strings(pathKeys)
 				for _, pathKey := range pathKeys {
+					if err := ctx.Err(); err != nil {
+						tm.lapProbe(probeStart)
+						return nil, sawMass, err
+					}
 					ppt := dist[pathKey]
 					if ppt <= 0 {
 						continue
@@ -387,25 +591,32 @@ func (e *Engine) interpretationsFrom(qToks []string, mentions []extract.Mention,
 		}
 		tm.lapProbe(probeStart)
 	}
-	return out
+	return out, sawMass, nil
 }
 
 // primitive is the δ oracle of Algorithm 2: a token span is a primitive BFQ
 // iff the engine can actually answer it.
-func (e *Engine) primitive(toks []string) bool {
-	return len(e.interpretations(toks, nil)) > 0
+func (e *Engine) primitive(ctx context.Context, toks []string) bool {
+	return len(e.interpretations(ctx, toks, nil)) > 0
 }
 
 // executeChain runs a decomposition sequence: answer the innermost BFQ,
 // then repeatedly bind the answer(s) into the next pattern (Sec 5.1).
-func (e *Engine) executeChain(dec decompose.Decomposition, tm *Timings) (Answer, bool) {
+// Cancellation is checked between hops and between bindings, so a deadline
+// stops a multi-hop question instead of fanning out more work; answered is
+// false when some hop has no answer (err stays nil), and err is non-nil
+// only for context expiry.
+func (e *Engine) executeChain(ctx context.Context, dec decompose.Decomposition, tm *Timings, k int) (_ Answer, _ []Ranked, answered bool, err error) {
 	maxVals := e.MaxChainValues
 	if maxVals <= 0 {
 		maxVals = 8
 	}
-	first, ok := e.answerBFQ(dec.Sequence[0], tm)
-	if !ok {
-		return Answer{}, false
+	first, firstCands, err := e.answerBFQ(ctx, dec.Sequence[0], tm)
+	if err != nil {
+		if Unanswerable(err) {
+			return Answer{}, nil, false, nil
+		}
+		return Answer{}, nil, false, err
 	}
 	steps := []Step{{
 		Question:  dec.Sequence[0],
@@ -419,31 +630,43 @@ func (e *Engine) executeChain(dec decompose.Decomposition, tm *Timings) (Answer,
 		current = current[:maxVals]
 	}
 	final := first
+	finalCands := firstCands
 
 	for _, pat := range dec.Sequence[1:] {
+		if err := ctx.Err(); err != nil {
+			return Answer{}, nil, false, err
+		}
 		valueSet := make(map[string]bool)
 		var stepAnswer Answer
+		var stepCands []interpretation
 		var stepQuestion string
 		executed := make([]string, 0, len(current))
-		answered := false
+		hopAnswered := false
 		for _, v := range current {
+			if err := ctx.Err(); err != nil {
+				return Answer{}, nil, false, err
+			}
 			q := decompose.Bind(pat, v)
 			executed = append(executed, q)
-			ans, ok := e.answerBFQ(q, tm)
-			if !ok {
-				continue
+			ans, cands, err := e.answerBFQ(ctx, q, tm)
+			if err != nil {
+				if Unanswerable(err) {
+					continue
+				}
+				return Answer{}, nil, false, err
 			}
-			answered = true
+			hopAnswered = true
 			if !ans.less(stepAnswer) {
 				stepAnswer = ans
+				stepCands = cands
 				stepQuestion = q
 			}
 			for _, nv := range ans.Values {
 				valueSet[nv] = true
 			}
 		}
-		if !answered {
-			return Answer{}, false
+		if !hopAnswered {
+			return Answer{}, nil, false, nil
 		}
 		next := make([]string, 0, len(valueSet))
 		for v := range valueSet {
@@ -462,6 +685,7 @@ func (e *Engine) executeChain(dec decompose.Decomposition, tm *Timings) (Answer,
 		})
 		current = next
 		final = stepAnswer
+		finalCands = stepCands
 		final.Values = next
 	}
 
@@ -475,7 +699,7 @@ func (e *Engine) executeChain(dec decompose.Decomposition, tm *Timings) (Answer,
 			}
 		}
 	}
-	return final, true
+	return final, e.rankTopK(finalCands, k), true, nil
 }
 
 // less orders answers by score for picking the strongest step answer; the

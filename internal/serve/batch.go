@@ -22,11 +22,22 @@ type BatchItem[A any] struct {
 // the not-yet-started items with the context error instead of abandoning
 // the batch.
 func (r *Runtime[A]) AskBatch(ctx context.Context, questions []string) []BatchItem[A] {
+	return r.DoBatch(ctx, questions, "", nil)
+}
+
+// DoBatch is AskBatch with a per-batch options fingerprint and compute
+// override, mirroring Do: every question of the batch is answered under
+// the same options, and each goes through the full serving pipeline keyed
+// by (question, fingerprint), so duplicates inside one batch — and across
+// concurrent batches with the same options — cost one engine call.
+func (r *Runtime[A]) DoBatch(ctx context.Context, questions []string, fingerprint string, compute AskFunc[A]) []BatchItem[A] {
 	workers := r.opts.BatchWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return runBatch(ctx, questions, workers, r.Ask)
+	return runBatch(ctx, questions, workers, func(ctx context.Context, q string) (A, bool, error) {
+		return r.Do(ctx, q, fingerprint, compute)
+	})
 }
 
 // RunBatch is the standalone batch executor for callers without a Runtime:

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -139,7 +140,7 @@ type metrics struct {
 	hits     atomic.Uint64 // answered straight from the cache
 	misses   atomic.Uint64 // had to consult the flight group / engine
 	deduped  atomic.Uint64 // misses resolved by joining an in-flight leader
-	rejected atomic.Uint64 // gave up in admission or flight wait (deadline)
+	rejected atomic.Uint64 // failed on a non-panic serving error: admission/flight deadline, or an engine call aborted by its context
 	panics   atomic.Uint64 // requests that surfaced a contained engine panic
 	inFlight atomic.Int64  // Ask calls currently executing
 
@@ -147,6 +148,25 @@ type metrics struct {
 	match histogram
 	probe histogram
 	total histogram
+
+	// errMu guards errCodes, the labelled error counter behind
+	// kbqa_query_errors_total{code=...}. Error paths are cold relative to
+	// the lock-free answer counters, so a plain mutex is fine here.
+	errMu    sync.Mutex
+	errCodes map[string]uint64
+}
+
+// countError bumps the labelled error counter for a non-empty code.
+func (m *metrics) countError(code string) {
+	if code == "" {
+		return
+	}
+	m.errMu.Lock()
+	if m.errCodes == nil {
+		m.errCodes = make(map[string]uint64)
+	}
+	m.errCodes[code]++
+	m.errMu.Unlock()
 }
 
 func (m *metrics) observeStages(tm StageTimings) {
@@ -159,24 +179,33 @@ func (m *metrics) observeStages(tm StageTimings) {
 // CacheHits + CacheMisses == Served for all quiescent snapshots: every
 // request records exactly one hit or miss.
 type Snapshot struct {
-	Served         uint64                       `json:"served"`
-	CacheHits      uint64                       `json:"cache_hits"`
-	CacheMisses    uint64                       `json:"cache_misses"`
-	CacheEvictions uint64                       `json:"cache_evictions"`
-	CacheEntries   int                          `json:"cache_entries"`
-	HitRate        float64                      `json:"hit_rate"`
-	Deduped        uint64                       `json:"deduped"`
-	Rejected       uint64                       `json:"rejected"`
-	EnginePanics   uint64                       `json:"engine_panics"`
-	InFlight       int64                        `json:"in_flight"`
-	Stages         map[string]HistogramSnapshot `json:"stages"`
+	Served         uint64  `json:"served"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheEntries   int     `json:"cache_entries"`
+	HitRate        float64 `json:"hit_rate"`
+	Deduped        uint64  `json:"deduped"`
+	// Rejected counts requests that failed on a non-panic serving error:
+	// gave up in admission or flight wait, or were admitted but aborted by
+	// their context inside the engine. The Errors map breaks the failures
+	// down by code.
+	Rejected     uint64                       `json:"rejected"`
+	EnginePanics uint64                       `json:"engine_panics"`
+	InFlight     int64                        `json:"in_flight"`
+	Stages       map[string]HistogramSnapshot `json:"stages"`
+	// Errors counts requests that returned an error, labelled by stable
+	// code: the serving layer's timeout/canceled/shutting_down/
+	// engine_panic plus the domain codes recorded via CountError
+	// (no_entity, no_template, no_answer).
+	Errors map[string]uint64 `json:"errors,omitempty"`
 }
 
 func (m *metrics) snapshot() Snapshot {
 	s := Snapshot{
-		Served:      m.served.Load(),
-		CacheHits:   m.hits.Load(),
-		CacheMisses: m.misses.Load(),
+		Served:       m.served.Load(),
+		CacheHits:    m.hits.Load(),
+		CacheMisses:  m.misses.Load(),
 		Deduped:      m.deduped.Load(),
 		Rejected:     m.rejected.Load(),
 		EnginePanics: m.panics.Load(),
@@ -191,5 +220,13 @@ func (m *metrics) snapshot() Snapshot {
 	if s.Served > 0 {
 		s.HitRate = float64(s.CacheHits) / float64(s.Served)
 	}
+	m.errMu.Lock()
+	if len(m.errCodes) > 0 {
+		s.Errors = make(map[string]uint64, len(m.errCodes))
+		for code, n := range m.errCodes {
+			s.Errors[code] = n
+		}
+	}
+	m.errMu.Unlock()
 	return s
 }

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition format,
+// for HTTP handlers serving WritePrometheus output.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// stageOrder fixes the emission order of the per-stage histograms so the
+// exposition is byte-stable across snapshots.
+var stageOrder = []string{StageParse, StageMatch, StageProbe, StageTotal}
+
+// WritePrometheus renders a Snapshot in the Prometheus text exposition
+// format (counters, gauges, and cumulative le-bucket histograms in
+// seconds), the scrape-friendly sibling of the JSON snapshot. Metric
+// names are prefixed kbqa_; the labelled error counter is
+// kbqa_query_errors_total{code=...}.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP kbqa_%s %s\n# TYPE kbqa_%s counter\nkbqa_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP kbqa_%s %s\n# TYPE kbqa_%s gauge\nkbqa_%s %d\n", name, help, name, name, v)
+	}
+
+	counter("requests_total", "Requests that reached the cache/engine path.", s.Served)
+	counter("cache_hits_total", "Requests answered straight from the answer cache.", s.CacheHits)
+	counter("cache_misses_total", "Requests that had to consult the flight group or engine.", s.CacheMisses)
+	counter("cache_evictions_total", "Answers displaced from the cache by capacity pressure.", s.CacheEvictions)
+	gauge("cache_entries", "Resident answer-cache entries.", int64(s.CacheEntries))
+	counter("deduped_total", "Cache misses resolved by joining an in-flight leader.", s.Deduped)
+	counter("rejected_total", "Requests that failed on a non-panic serving error (admission/flight deadline, or engine aborted by context).", s.Rejected)
+	counter("engine_panics_total", "Requests that surfaced a contained engine panic.", s.EnginePanics)
+	gauge("in_flight", "Requests currently executing.", s.InFlight)
+
+	fmt.Fprintf(&b, "# HELP kbqa_query_errors_total Requests that returned an error, by stable code.\n")
+	fmt.Fprintf(&b, "# TYPE kbqa_query_errors_total counter\n")
+	codes := make([]string, 0, len(s.Errors))
+	for code := range s.Errors {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		fmt.Fprintf(&b, "kbqa_query_errors_total{code=%q} %d\n", code, s.Errors[code])
+	}
+
+	fmt.Fprintf(&b, "# HELP kbqa_stage_latency_seconds Pipeline-stage latency (parse/match/probe cover engine calls; total is end-to-end serving).\n")
+	fmt.Fprintf(&b, "# TYPE kbqa_stage_latency_seconds histogram\n")
+	overflow := upperBoundMillis(numBuckets - 1)
+	for _, stage := range stageOrder {
+		h, ok := s.Stages[stage]
+		if !ok {
+			continue
+		}
+		var cum uint64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			if bk.LEMillis == overflow {
+				// The nominal overflow bound folds into +Inf below.
+				continue
+			}
+			fmt.Fprintf(&b, "kbqa_stage_latency_seconds_bucket{stage=%q,le=%q} %d\n",
+				stage, formatSeconds(bk.LEMillis/1e3), cum)
+		}
+		fmt.Fprintf(&b, "kbqa_stage_latency_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, h.Count)
+		fmt.Fprintf(&b, "kbqa_stage_latency_seconds_sum{stage=%q} %s\n",
+			stage, formatSeconds(h.MeanMillis*float64(h.Count)/1e3))
+		fmt.Fprintf(&b, "kbqa_stage_latency_seconds_count{stage=%q} %d\n", stage, h.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatSeconds renders a seconds value without exponent notation (which
+// some scrapers reject in le labels) and without trailing-zero noise.
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

@@ -4,19 +4,22 @@
 // online answering phase (Sec 1); this package is what makes the online
 // phase survive heavy concurrent traffic without touching the engine:
 //
-//   - a sharded LRU answer cache keyed by the normalized question, with
-//     hit/miss/eviction counters;
+//   - a sharded LRU answer cache keyed by (normalized question, options
+//     fingerprint), with hit/miss/eviction counters;
 //   - singleflight deduplication, so a thundering herd of identical
 //     questions costs one engine call;
 //   - admission control bounding concurrent engine calls, plus
-//     per-request deadlines;
+//     per-request deadlines that are handed to the engine itself (the
+//     context reaches the probe loops, so an expired request stops
+//     working instead of leaking a goroutine's worth of scan);
 //   - a bounded-worker batch executor that fans a question slice across
 //     goroutines while preserving input order;
 //   - a metrics pipeline (per-stage latency histograms, cache hit rate,
-//     in-flight gauge) snapshotted as JSON.
+//     in-flight gauge, labelled error-code counters) snapshotted as JSON
+//     or rendered in Prometheus text exposition format.
 //
 // The runtime is generic over the answer type so it layers over
-// kbqa.System without an import cycle, and over any Ask-shaped engine.
+// kbqa.System without an import cycle, and over any Query-shaped engine.
 package serve
 
 import (
@@ -28,9 +31,12 @@ import (
 	"time"
 )
 
-// AskFunc is the engine the runtime wraps: it answers one question,
-// reporting per-stage latencies for the metrics pipeline.
-type AskFunc[A any] func(question string) (A, StageTimings, bool)
+// AskFunc is the engine the runtime wraps: it answers one question under a
+// context, reporting per-stage latencies for the metrics pipeline. ok is
+// the domain-level "has an answer" flag and is cached (negatively too); a
+// non-nil error is an infrastructure failure — typically ctx.Err()
+// surfaced from the engine's probe loops — and is never cached.
+type AskFunc[A any] func(ctx context.Context, question string) (A, StageTimings, bool, error)
 
 // ErrShuttingDown is returned for requests arriving after Close.
 var ErrShuttingDown = errors.New("serve: runtime shutting down")
@@ -39,6 +45,35 @@ var ErrShuttingDown = errors.New("serve: runtime shutting down")
 // callers should surface it as an internal error, not a transient one —
 // retrying the same question re-triggers the panic.
 var ErrEnginePanic = errors.New("serve: engine panic")
+
+// Stable error-code labels of the serving layer, the values of the
+// kbqa_query_errors_total{code=...} counter. Layers above register their
+// own domain codes through Runtime.CountError.
+const (
+	CodeTimeout      = "timeout"
+	CodeCanceled     = "canceled"
+	CodeShuttingDown = "shutting_down"
+	CodeEnginePanic  = "engine_panic"
+	CodeInternal     = "internal"
+)
+
+// ErrorCode maps a serving-layer error to its stable label ("" for nil).
+func ErrorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, ErrShuttingDown):
+		return CodeShuttingDown
+	case errors.Is(err, ErrEnginePanic):
+		return CodeEnginePanic
+	default:
+		return CodeInternal
+	}
+}
 
 // Options tunes the runtime; the zero value is production-sensible.
 type Options struct {
@@ -57,7 +92,7 @@ type Options struct {
 	// Timeout is the per-request deadline applied when the caller's
 	// context has none. 0 means no default deadline.
 	Timeout time.Duration
-	// Normalize produces the cache/deduplication key from a question.
+	// Normalize produces the question half of the cache/deduplication key.
 	// Default: lower-cased, space-collapsed trimming.
 	Normalize func(string) string
 }
@@ -108,14 +143,34 @@ func defaultNormalize(q string) string {
 	return strings.Join(strings.Fields(strings.ToLower(q)), " ")
 }
 
-// Ask answers one question through the cache → singleflight → admission →
-// engine pipeline. ok mirrors the engine's "has an answer" flag; err is
-// non-nil only for serving-layer failures (deadline exceeded while queued
-// or waiting, runtime closed, an engine panic contained as ErrEnginePanic)
-// — never for unanswerable questions.
-func (r *Runtime[A]) Ask(ctx context.Context, question string) (ans A, ok bool, err error) {
+// fingerprintSep joins the normalized question and the options fingerprint
+// in the cache key; an information separator no normalizer emits.
+const fingerprintSep = "\x1f"
+
+// Ask answers one question with the runtime's fixed engine function and an
+// empty fingerprint; see Do.
+func (r *Runtime[A]) Ask(ctx context.Context, question string) (A, bool, error) {
+	return r.Do(ctx, question, "", nil)
+}
+
+// Do answers one question through the cache → singleflight → admission →
+// engine pipeline, keyed by (normalized question, fingerprint). compute,
+// when non-nil, replaces the runtime's engine function for this call —
+// the hook for per-request options, which MUST be encoded into fingerprint
+// so differently-optioned results never share a cache entry or a flight.
+//
+// ok mirrors the engine's "has an answer" flag; err is non-nil for
+// serving-layer failures (deadline exceeded while queued or waiting,
+// runtime closed, an engine panic contained as ErrEnginePanic) and for
+// errors returned by compute itself (context expiry inside the engine) —
+// never for unanswerable questions. Compute errors are not cached.
+func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compute AskFunc[A]) (ans A, ok bool, err error) {
+	if compute == nil {
+		compute = r.ask
+	}
 	select {
 	case <-r.closed:
+		r.metrics.countError(CodeShuttingDown)
 		var zero A
 		return zero, false, ErrShuttingDown
 	default:
@@ -125,9 +180,15 @@ func (r *Runtime[A]) Ask(ctx context.Context, question string) (ans A, ok bool, 
 	defer func() {
 		r.metrics.total.observe(time.Since(start))
 		r.metrics.inFlight.Add(-1)
+		if err != nil {
+			r.metrics.countError(ErrorCode(err))
+		}
 	}()
 
 	key := r.normalize(question)
+	if fingerprint != "" {
+		key += fingerprintSep + fingerprint
+	}
 	r.metrics.served.Add(1)
 	if r.cache != nil {
 		if val, okAns, hit := r.cache.get(key); hit {
@@ -166,7 +227,14 @@ func (r *Runtime[A]) Ask(ctx context.Context, question string) (ans A, ok bool, 
 				var zero A
 				return zero, false, err
 			}
-			a, tm, okAns := r.ask(question)
+			a, tm, okAns, err := compute(ctx, question)
+			if err != nil {
+				// An engine that died on its context (or any other
+				// infrastructure failure) produced no answer worth
+				// keeping: propagate without caching.
+				var zero A
+				return zero, false, err
+			}
 			r.metrics.observeStages(tm)
 			if r.cache != nil {
 				r.cache.put(key, a, okAns)
@@ -204,6 +272,16 @@ func (r *Runtime[A]) Ask(ctx context.Context, question string) (ans A, ok bool, 
 			r.metrics.deduped.Add(1)
 		}
 		return val, okAns, nil
+	}
+}
+
+// CountError bumps the labelled error-code counter surfaced in Snapshot
+// and the Prometheus exposition. The runtime records its own serving-layer
+// codes; layers above record their domain codes (e.g. the typed
+// no-entity / no-template / no-answer failures) through this hook.
+func (r *Runtime[A]) CountError(code string) {
+	if code != "" {
+		r.metrics.countError(code)
 	}
 }
 

@@ -13,14 +13,14 @@ import (
 // echoAsk answers instantly with a question-derived value; calls counts
 // engine invocations.
 func echoAsk(calls *atomic.Int64) AskFunc[string] {
-	return func(q string) (string, StageTimings, bool) {
+	return func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		if calls != nil {
 			calls.Add(1)
 		}
 		if q == "unanswerable" {
-			return "", StageTimings{}, false
+			return "", StageTimings{}, false, nil
 		}
-		return "ans:" + q, StageTimings{Parse: time.Microsecond, Match: time.Microsecond, Probe: time.Microsecond}, true
+		return "ans:" + q, StageTimings{Parse: time.Microsecond, Match: time.Microsecond, Probe: time.Microsecond}, true, nil
 	}
 }
 
@@ -84,11 +84,11 @@ func TestSingleflightDedup(t *testing.T) {
 	var calls atomic.Int64
 	gate := make(chan struct{})
 	started := make(chan struct{}, 1)
-	r := New(func(q string) (string, StageTimings, bool) {
+	r := New(func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		calls.Add(1)
 		started <- struct{}{}
 		<-gate
-		return "ans", StageTimings{}, true
+		return "ans", StageTimings{}, true, nil
 	}, Options{})
 
 	var launched sync.WaitGroup
@@ -131,7 +131,7 @@ func TestSingleflightDedup(t *testing.T) {
 func TestAdmissionBound(t *testing.T) {
 	const limit = 2
 	var inEngine, highWater atomic.Int64
-	r := New(func(q string) (string, StageTimings, bool) {
+	r := New(func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		n := inEngine.Add(1)
 		for {
 			hw := highWater.Load()
@@ -141,7 +141,7 @@ func TestAdmissionBound(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 		inEngine.Add(-1)
-		return "ans", StageTimings{}, true
+		return "ans", StageTimings{}, true, nil
 	}, Options{MaxConcurrent: limit, CacheEntries: -1})
 
 	var wg sync.WaitGroup
@@ -163,9 +163,9 @@ func TestAdmissionBound(t *testing.T) {
 func TestAdmissionDeadline(t *testing.T) {
 	gate := make(chan struct{})
 	defer close(gate)
-	r := New(func(q string) (string, StageTimings, bool) {
+	r := New(func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		<-gate
-		return "ans", StageTimings{}, true
+		return "ans", StageTimings{}, true, nil
 	}, Options{MaxConcurrent: 1, CacheEntries: -1})
 
 	// Occupy the only slot.
@@ -193,10 +193,10 @@ func TestFollowerHonoursOwnDeadline(t *testing.T) {
 	gate := make(chan struct{})
 	defer close(gate)
 	started := make(chan struct{})
-	r := New(func(q string) (string, StageTimings, bool) {
+	r := New(func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		close(started)
 		<-gate
-		return "ans", StageTimings{}, true
+		return "ans", StageTimings{}, true, nil
 	}, Options{})
 
 	go r.Ask(context.Background(), "slow question")
@@ -216,13 +216,13 @@ func TestFollowerHonoursOwnDeadline(t *testing.T) {
 func TestFollowerRetriesAfterLeaderDeadline(t *testing.T) {
 	gate := make(chan struct{})
 	var calls atomic.Int64
-	r := New(func(q string) (string, StageTimings, bool) {
+	r := New(func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		if q == "blocker" {
 			<-gate
-			return "blocked", StageTimings{}, true
+			return "blocked", StageTimings{}, true, nil
 		}
 		calls.Add(1)
-		return "ans", StageTimings{}, true
+		return "ans", StageTimings{}, true, nil
 	}, Options{MaxConcurrent: 1, CacheEntries: -1})
 
 	// Occupy the only engine slot.
@@ -272,10 +272,10 @@ func TestDefaultTimeoutApplied(t *testing.T) {
 	gate := make(chan struct{})
 	defer close(gate)
 	started := make(chan struct{})
-	r := New(func(q string) (string, StageTimings, bool) {
+	r := New(func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		close(started)
 		<-gate
-		return "ans", StageTimings{}, true
+		return "ans", StageTimings{}, true, nil
 	}, Options{Timeout: 5 * time.Millisecond})
 
 	go r.Ask(context.Background(), "slow")
@@ -317,7 +317,7 @@ func TestBatchPreservesOrder(t *testing.T) {
 func TestBatchWorkerBound(t *testing.T) {
 	const workers = 3
 	var inFlight, highWater atomic.Int64
-	r := New(func(q string) (string, StageTimings, bool) {
+	r := New(func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		n := inFlight.Add(1)
 		for {
 			hw := highWater.Load()
@@ -327,7 +327,7 @@ func TestBatchWorkerBound(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 		inFlight.Add(-1)
-		return "ans", StageTimings{}, true
+		return "ans", StageTimings{}, true, nil
 	}, Options{BatchWorkers: workers, CacheEntries: -1, MaxConcurrent: -1})
 	questions := make([]string, 24)
 	for i := range questions {
@@ -366,12 +366,12 @@ func TestRunBatchStandalone(t *testing.T) {
 // fresh instead of blocking forever on an unclosed done channel.
 func TestFlightLeaderPanicContained(t *testing.T) {
 	first := true
-	r := New(func(q string) (string, StageTimings, bool) {
+	r := New(func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		if first {
 			first = false
 			panic("pathological question")
 		}
-		return "ans", StageTimings{}, true
+		return "ans", StageTimings{}, true, nil
 	}, Options{})
 
 	if _, _, err := r.Ask(context.Background(), "q"); !errors.Is(err, ErrEnginePanic) {
@@ -400,7 +400,7 @@ func TestFlightFollowerSeesEnginePanicError(t *testing.T) {
 	started := make(chan struct{})
 	gate := make(chan struct{})
 	var calls atomic.Int64
-	r := New(func(q string) (string, StageTimings, bool) {
+	r := New(func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		if calls.Add(1) == 1 {
 			close(started)
 		}
@@ -447,11 +447,11 @@ func TestFlightFollowerSeesEnginePanicError(t *testing.T) {
 // down the whole process) — it becomes an ErrEnginePanic item while the
 // rest of the batch answers normally.
 func TestBatchContainsEnginePanic(t *testing.T) {
-	r := New(func(q string) (string, StageTimings, bool) {
+	r := New(func(_ context.Context, q string) (string, StageTimings, bool, error) {
 		if q == "poison" {
 			panic("pathological question")
 		}
-		return "ans:" + q, StageTimings{}, true
+		return "ans:" + q, StageTimings{}, true, nil
 	}, Options{})
 	items := r.AskBatch(context.Background(), []string{"a", "poison", "b"})
 	if !errors.Is(items[1].Err, ErrEnginePanic) {

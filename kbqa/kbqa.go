@@ -7,22 +7,35 @@
 // corpus (the library's stand-ins for Freebase/DBpedia and Yahoo! Answers),
 // runs the full offline procedure — joint entity–value extraction, EM
 // estimation of P(p|t), predicate expansion and decomposition statistics —
-// and returns a ready-to-ask System:
+// and returns a ready System. Query is the single online entry point: it
+// auto-routes binary factoid, complex (multi-hop) and
+// ranking/comparison/listing questions, honours context cancellation down
+// to the knowledge-base probe loops, and returns the top-K ranked
+// interpretations alongside the answer:
 //
 //	sys, err := kbqa.Build(kbqa.Options{Flavor: "freebase"})
-//	ans, ok := sys.Ask("What is the population of Dunford?")
+//	res, err := sys.Query(ctx, "What is the population of Dunford?",
+//	    kbqa.WithTopK(5))
+//	// res.Answer, res.Interpretations, res.Timings
 //
-// Ask handles both binary factoid questions and complex questions composed
-// of a chain of them ("When was X's wife born?"). For corpora of your own,
-// see System.Learn.
+// Failures are typed — ErrNoEntity, ErrNoTemplate, ErrNoAnswer, or the
+// context's own error — so callers can tell "unanswerable" from "timed
+// out" (see ErrorCode). Systems compose through the Answerer interface:
+// Chain(sys, fallback) implements the paper's hybrid deployments over any
+// mix of KBQA systems, baselines (Baseline) and servers.
+//
+// The legacy Ask/AskVariant/Fallback/BuiltinBaseline entry points remain
+// as deprecated shims over Query. For corpora of your own, see
+// System.Learn; for serving traffic, System.Server.
 package kbqa
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/decompose"
@@ -32,7 +45,8 @@ import (
 	"repro/internal/text"
 )
 
-// Options configures Build.
+// Options configures Build. The zero value builds the default Freebase
+// world.
 type Options struct {
 	// Flavor selects the synthetic knowledge base: "kba", "freebase"
 	// (default) or "dbpedia".
@@ -43,8 +57,11 @@ type Options struct {
 	Scale int
 	// PairsPerIntent sizes the training corpus (default 40).
 	PairsPerIntent int
-	// NoiseRate is the fraction of corrupted training pairs (default 0.15).
-	NoiseRate float64
+	// NoiseRate is the fraction of corrupted training pairs. nil keeps
+	// the default (0.15); Noise(0) requests a noise-free corpus — a
+	// pointer rather than a float so the zero value stays distinguishable
+	// from "use the default".
+	NoiseRate *float64
 	// Shards selects the knowledge-base layout: > 1 partitions the RDF
 	// store into that many subject-hash shards (offline expansion scans
 	// one worker per shard; online probes hash to their shard), 1 forces
@@ -52,6 +69,10 @@ type Options struct {
 	// are identical across layouts.
 	Shards int
 }
+
+// Noise returns a NoiseRate option value; Noise(0) requests a noise-free
+// training corpus.
+func Noise(rate float64) *float64 { return &rate }
 
 // ParseFlavor converts a flavor name to the kbgen flavor.
 func ParseFlavor(name string) (kbgen.Flavor, error) {
@@ -67,46 +88,13 @@ func ParseFlavor(name string) (kbgen.Flavor, error) {
 	}
 }
 
-// Step is one hop of an answered complex question.
-type Step struct {
-	// Question is the bound BFQ whose answer won the step; Questions
-	// lists every bound BFQ the step actually executed (execution fans
-	// out over all values of the previous step).
-	Question  string
-	Questions []string
-	Template  string
-	Predicate string
-	Value     string
-}
-
-// Answer is a successful reply.
-type Answer struct {
-	// Value is the argmax answer.
-	Value string
-	// Values is the full value set of the winning interpretation (band
-	// members, etc.).
-	Values []string
-	// Predicate is the knowledge-base predicate the question mapped to,
-	// in arrow notation for expanded predicates.
-	Predicate string
-	// Template is the learned template that matched.
-	Template string
-	// Score is the (unnormalized) probability mass of Value.
-	Score float64
-	// Steps traces complex-question execution (empty for plain BFQs).
-	Steps []Step
-}
-
-// System is a trained KBQA instance.
-type System struct {
-	world *eval.World
-}
-
-// Build synthesizes a world and runs the complete offline procedure.
-func Build(o Options) (*System, error) {
+// worldConfig resolves Options onto the per-flavor defaults; every zero
+// field keeps its default, and NoiseRate distinguishes "unset" (nil) from
+// an explicit 0 so noise-free corpora are expressible.
+func (o Options) worldConfig() (eval.WorldConfig, error) {
 	f, err := ParseFlavor(o.Flavor)
 	if err != nil {
-		return nil, err
+		return eval.WorldConfig{}, err
 	}
 	cfg := eval.DefaultWorldConfig(f)
 	if o.Seed != 0 {
@@ -118,54 +106,109 @@ func Build(o Options) (*System, error) {
 	if o.PairsPerIntent > 0 {
 		cfg.PairsPerIntent = o.PairsPerIntent
 	}
-	if o.NoiseRate > 0 {
-		cfg.NoiseRate = o.NoiseRate
+	if o.NoiseRate != nil {
+		cfg.NoiseRate = *o.NoiseRate
 	}
 	if o.Shards != 0 {
 		cfg.Shards = o.Shards
 	}
-	return &System{world: eval.BuildWorld(cfg)}, nil
+	return cfg, nil
 }
 
-// Ask answers a question (BFQ or complex). ok is false when the system has
-// no answer, the behaviour a hybrid deployment uses to fall back to
-// another QA engine (see Fallback).
-func (s *System) Ask(question string) (Answer, bool) {
-	ans, ok := s.world.Engine.Answer(question)
-	if !ok {
-		return Answer{}, false
-	}
-	return answerFromCore(ans), true
+// Step is one hop of an answered complex question.
+type Step struct {
+	// Question is the bound BFQ whose answer won the step; Questions
+	// lists every bound BFQ the step actually executed (execution fans
+	// out over all values of the previous step).
+	Question  string   `json:"question"`
+	Questions []string `json:"questions,omitempty"`
+	Template  string   `json:"template,omitempty"`
+	Predicate string   `json:"predicate,omitempty"`
+	Value     string   `json:"value,omitempty"`
+}
+
+// Answer is a successful BFQ / complex-question reply.
+type Answer struct {
+	// Value is the argmax answer.
+	Value string `json:"value"`
+	// Values is the full value set of the winning interpretation (band
+	// members, etc.).
+	Values []string `json:"values,omitempty"`
+	// Predicate is the knowledge-base predicate the question mapped to,
+	// in arrow notation for expanded predicates.
+	Predicate string `json:"predicate,omitempty"`
+	// Template is the learned template that matched.
+	Template string `json:"template,omitempty"`
+	// Score is the (unnormalized) probability mass of Value.
+	Score float64 `json:"score,omitempty"`
+	// Steps traces complex-question execution (empty for plain BFQs).
+	Steps []Step `json:"steps,omitempty"`
 }
 
 // VariantAnswer is the reply to a ranking, comparison or listing question.
 type VariantAnswer struct {
 	// Kind is "ranking", "comparison" or "listing".
-	Kind string
+	Kind string `json:"kind"`
 	// Entities are the winning entities (the ordered list, for listing).
-	Entities []string
+	Entities []string `json:"entities"`
 	// Values aligns with Entities: the predicate values that ranked them.
-	Values []string
+	Values []string `json:"values"`
 	// Predicate is the predicate the variant aggregated over.
-	Predicate string
+	Predicate string `json:"predicate"`
+}
+
+// System is a trained KBQA instance. It implements Answerer. Query and the
+// other read paths may be used concurrently with Learn/LoadModel: model
+// swaps are atomic behind a read-write lock, and in-flight queries finish
+// against the engine they started with.
+type System struct {
+	mu    sync.RWMutex // guards the world's Model/Stats/Engine swaps
+	world *eval.World
+}
+
+// Build synthesizes a world and runs the complete offline procedure.
+func Build(o Options) (*System, error) {
+	cfg, err := o.worldConfig()
+	if err != nil {
+		return nil, err
+	}
+	return &System{world: eval.BuildWorld(cfg)}, nil
+}
+
+// engine snapshots the current online engine; queries run against the
+// snapshot so a concurrent Learn cannot swap state mid-question.
+func (s *System) engine() *core.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.world.Engine
+}
+
+// Ask answers a question (BFQ or complex). ok is false when the system has
+// no answer.
+//
+// Deprecated: use Query, which distinguishes the failure modes Ask
+// collapses into false, honours cancellation, and surfaces the ranked
+// interpretations. Ask remains as a shim and returns exactly the answer
+// Query's Result.Answer carries.
+func (s *System) Ask(question string) (Answer, bool) {
+	res, err := s.Query(context.Background(), question, WithoutVariants(), WithTopK(0))
+	if err != nil || res.Answer == nil {
+		return Answer{}, false
+	}
+	return *res.Answer, true
 }
 
 // AskVariant answers the BFQ variants of the paper's introduction:
-// ranking ("which city has the 3rd largest population?"), comparison
-// ("which city has more people, A or B?") and listing ("list cities
-// ordered by population"). The grounding reuses the learned templates, so
-// variants need no extra training.
+// ranking, comparison and listing questions.
+//
+// Deprecated: use Query, which auto-routes variants (Result.Variant) and
+// reports why a question failed instead of a bare false.
 func (s *System) AskVariant(question string) (VariantAnswer, bool) {
-	va, ok := s.world.Engine.AnswerVariant(question)
+	va, ok := s.engine().AnswerVariant(question)
 	if !ok {
 		return VariantAnswer{}, false
 	}
-	return VariantAnswer{
-		Kind:      va.Kind.String(),
-		Entities:  va.Entities,
-		Values:    va.Values,
-		Predicate: va.Path,
-	}, true
+	return variantFromCore(va), true
 }
 
 // QA is one question–answer pair of a training corpus.
@@ -173,18 +216,29 @@ type QA = learn.QA
 
 // Learn re-runs the offline learning over a caller-supplied QA corpus
 // against this system's knowledge base, replacing the current model. Use
-// it to train on your own data instead of the synthetic corpus.
+// it to train on your own data instead of the synthetic corpus. Learn is
+// safe to call while the system is answering: the heavy learning runs
+// outside the lock and the model/engine swap is atomic, with concurrent
+// queries finishing against whichever engine they started with. (A Server
+// keeps serving cached answers computed by the old model until its cache
+// turns over.)
 func (s *System) Learn(pairs []QA) {
 	learner := s.world.Learner()
-	s.world.Model = learner.Learn(pairs)
+	model := learner.Learn(pairs)
 	qs := make([]string, len(pairs))
 	for i, p := range pairs {
 		qs[i] = p.Q
 	}
-	s.world.Stats = decompose.BuildStats(qs, func(toks []string, sp text.Span) bool {
+	stats := decompose.BuildStats(qs, func(toks []string, sp text.Span) bool {
 		return len(s.world.KB.Store.EntitiesByLabel(text.Join(text.CutSpan(toks, sp)))) > 0
 	})
-	s.world.Engine = core.NewEngine(s.world.KB.Store, s.world.KB.Taxonomy, s.world.Model, s.world.Stats)
+	engine := core.NewEngine(s.world.KB.Store, s.world.KB.Taxonomy, model, stats)
+
+	s.mu.Lock()
+	s.world.Model = model
+	s.world.Stats = stats
+	s.world.Engine = engine
+	s.mu.Unlock()
 }
 
 // TrainingCorpus returns the synthetic QA corpus the system was built with,
@@ -198,17 +252,25 @@ func (s *System) TrainingCorpus() []QA {
 }
 
 // SaveModel serializes the learned P(p|t) model.
-func (s *System) SaveModel(w io.Writer) error { return s.world.Model.Save(w) }
+func (s *System) SaveModel(w io.Writer) error {
+	s.mu.RLock()
+	m := s.world.Model
+	s.mu.RUnlock()
+	return m.Save(w)
+}
 
 // LoadModel replaces the learned model with one written by SaveModel and
-// rewires the online engine.
+// rewires the online engine; like Learn, the swap is atomic under
+// concurrent queries.
 func (s *System) LoadModel(r io.Reader) error {
 	m, err := learn.LoadModel(r)
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.world.Model = m
 	s.world.Engine = core.NewEngine(s.world.KB.Store, s.world.KB.Taxonomy, m, s.world.Stats)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -225,13 +287,16 @@ type Stats struct {
 
 // Stats reports the system's sizes.
 func (s *System) Stats() Stats {
+	s.mu.RLock()
+	model := s.world.Model
+	s.mu.RUnlock()
 	return Stats{
 		Flavor:     s.world.KB.Flavor.String(),
 		Entities:   len(s.world.KB.Store.Entities()),
 		Triples:    s.world.KB.Store.NumTriples(),
 		Predicates: s.world.KB.Store.NumPredicates(),
-		Templates:  s.world.Model.NumTemplates(),
-		Intents:    s.world.Model.NumPredicates(),
+		Templates:  model.NumTemplates(),
+		Intents:    model.NumPredicates(),
 		CorpusSize: len(s.world.Pairs),
 	}
 }
@@ -273,6 +338,10 @@ type ComplexQuestion struct {
 // Fallback composes this system with a secondary QA system: questions KBQA
 // cannot answer are forwarded (the hybrid scheme of Sec 7.3.1). The
 // returned function answers like Ask.
+//
+// Deprecated: use Chain, which composes any number of Answerers, keeps
+// typed errors, and aborts on context expiry instead of burning the
+// remaining budget on fallbacks.
 func (s *System) Fallback(secondary func(q string) (string, bool)) func(q string) (Answer, bool) {
 	return func(q string) (Answer, bool) {
 		if ans, ok := s.Ask(q); ok {
@@ -286,21 +355,20 @@ func (s *System) Fallback(secondary func(q string) (string, bool)) func(q string
 }
 
 // BuiltinBaseline returns one of the reimplemented comparison systems
-// ("keyword", "synonym", "graph", "rule") wired to this system's knowledge
-// base; it answers via the same Ask-like contract and is the natural
-// secondary for Fallback.
+// ("keyword", "synonym", "graph", "rule") with an Ask-like contract.
+//
+// Deprecated: use Baseline, which returns the same system as an Answerer
+// for composition with Chain.
 func (s *System) BuiltinBaseline(name string) (func(q string) (string, bool), error) {
-	sys, ok := s.world.Systems[name]
-	if !ok || name == "kbqa" {
-		return nil, fmt.Errorf("kbqa: unknown baseline %q (want keyword, synonym, graph, or rule)", name)
+	a, err := s.Baseline(name)
+	if err != nil {
+		return nil, err
 	}
 	return func(q string) (string, bool) {
-		res, ok := sys.Answer(q)
-		if !ok {
+		res, err := a.Query(context.Background(), q)
+		if err != nil || res.Answer == nil {
 			return "", false
 		}
-		return res.Value, true
+		return res.Answer.Value, true
 	}, nil
 }
-
-var _ = baseline.Result{} // the Systems map above carries baseline.System values

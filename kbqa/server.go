@@ -2,6 +2,7 @@ package kbqa
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"repro/internal/core"
@@ -32,34 +33,41 @@ type ServerOptions struct {
 	// MaxConcurrent bounds concurrent engine calls. 0 means
 	// 4×GOMAXPROCS; negative means unbounded.
 	MaxConcurrent int
-	// BatchWorkers sizes AskBatch's worker pool (default GOMAXPROCS).
+	// BatchWorkers sizes QueryBatch's worker pool (default GOMAXPROCS).
 	BatchWorkers int
 	// Timeout is the per-request deadline applied when the caller's
-	// context has none (0 = none).
+	// context has none (0 = none). The deadline is handed to the engine,
+	// so expiry stops the probe loops instead of leaking the work.
 	Timeout time.Duration
 }
 
-// Server is the production serving runtime around a System: a sharded LRU
-// answer cache with singleflight deduplication, admission control, an
-// order-preserving batch executor, and a self-instrumented metrics
-// pipeline. Unlike System.Ask it is context-aware and designed for heavy
-// concurrent traffic; cmd/kbqa-server is a thin HTTP shell over it.
-type Server struct {
-	sys *System
-	rt  *serve.Runtime[Answer]
+// served is the cached unit of the serving runtime: either a successful
+// Result or the stable code of a typed unanswerable failure. Caching the
+// code (negative caching) protects the engine from repeated unanswerable
+// questions just as a resident answer protects it from popular ones;
+// context and infrastructure errors are never cached.
+type served struct {
+	res  *Result
+	code string
 }
 
-// Server wraps the system in a serving runtime. The underlying System must
-// not be retrained (Learn, LoadModel) while the server is taking traffic.
+// Server is the production serving runtime around a System: a sharded LRU
+// answer cache keyed by (normalized question, options fingerprint) with
+// singleflight deduplication, admission control, an order-preserving batch
+// executor, and a self-instrumented metrics pipeline. It implements
+// Answerer; cmd/kbqa-server is a thin HTTP shell over it.
+type Server struct {
+	sys *System
+	rt  *serve.Runtime[served]
+}
+
+// Server wraps the system in a serving runtime. The system may be
+// retrained (Learn, LoadModel) while serving — queries in flight finish on
+// the engine they started with — but cached answers computed by the old
+// model are served until their entries turn over.
 func (s *System) Server(o ServerOptions) *Server {
-	rt := serve.New(func(q string) (Answer, serve.StageTimings, bool) {
-		ans, tm, ok := s.world.Engine.AnswerTimed(q)
-		st := serve.StageTimings{Parse: tm.Parse, Match: tm.Match, Probe: tm.Probe}
-		if !ok {
-			return Answer{}, st, false
-		}
-		return answerFromCore(ans), st, true
-	}, serve.Options{
+	sv := &Server{sys: s}
+	sv.rt = serve.New(sv.compute(newQueryConfig(nil)), serve.Options{
 		CacheShards:   o.CacheShards,
 		CacheEntries:  o.CacheEntries,
 		MaxConcurrent: o.MaxConcurrent,
@@ -67,14 +75,114 @@ func (s *System) Server(o ServerOptions) *Server {
 		Timeout:       o.Timeout,
 		Normalize:     text.Normalize,
 	})
-	return &Server{sys: s, rt: rt}
+	return sv
+}
+
+// compute builds the serving-layer engine function for one resolved option
+// set: typed unanswerable failures become cacheable negative entries,
+// while context and infrastructure errors propagate uncached.
+func (sv *Server) compute(cfg queryConfig) serve.AskFunc[served] {
+	return func(ctx context.Context, question string) (served, serve.StageTimings, bool, error) {
+		res, tm, err := sv.sys.query(ctx, question, cfg)
+		st := serve.StageTimings{Parse: tm.Parse, Match: tm.Match, Probe: tm.Probe}
+		if err != nil {
+			if IsUnanswerable(err) {
+				return served{code: ErrorCode(err)}, st, false, nil
+			}
+			return served{}, st, false, err
+		}
+		return served{res: res}, st, true, nil
+	}
+}
+
+// Query answers one question through the cache → singleflight → admission
+// → engine pipeline, implementing Answerer. The cache and deduplication
+// key is (normalized question, options fingerprint), so the same question
+// under different options never shares a result. Errors are the same
+// typed set as System.Query plus the serving-layer sentinels
+// (ErrShuttingDown, ErrEnginePanic, deadline errors from queueing).
+//
+// The returned Result may be shared with concurrent callers via the
+// answer cache: treat it as read-only. Its Timings describe the
+// computation that produced it, which a cache hit skips.
+func (sv *Server) Query(ctx context.Context, question string, opts ...QueryOption) (*Result, error) {
+	cfg := newQueryConfig(opts)
+	// Arm WithTimeout here, not inside the engine call: the deadline must
+	// also bound cache/flight/admission waiting, and it must belong to
+	// this caller — a singleflight leader's compute runs under the
+	// leader's context, not a follower's.
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+		cfg.timeout = 0 // the deadline lives on ctx now; don't re-arm
+	}
+	out, ok, err := sv.rt.Do(ctx, question, cfg.fingerprint(), sv.compute(cfg))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		sv.rt.CountError(out.code)
+		return nil, errorFromCode(out.code)
+	}
+	return out.res, nil
+}
+
+// BatchResult is one slot of a QueryBatch reply, aligned with the input
+// order. Exactly one of Result and Err is set.
+type BatchResult struct {
+	Question string
+	Result   *Result
+	Err      error
+}
+
+// QueryBatch answers a slice of questions concurrently over a bounded
+// worker pool, preserving input order; every question is answered under
+// the same options. Each question goes through the full serving pipeline,
+// so duplicates inside one batch cost one engine call.
+func (sv *Server) QueryBatch(ctx context.Context, questions []string, opts ...QueryOption) []BatchResult {
+	cfg := newQueryConfig(opts)
+	// WithTimeout bounds the whole batch, queueing included (see Query).
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+		cfg.timeout = 0
+	}
+	items := sv.rt.DoBatch(ctx, questions, cfg.fingerprint(), sv.compute(cfg))
+	out := make([]BatchResult, len(items))
+	for i, it := range items {
+		br := BatchResult{Question: it.Question, Err: it.Err}
+		if it.Err == nil {
+			if it.OK {
+				br.Result = it.Answer.res
+			} else {
+				sv.rt.CountError(it.Answer.code)
+				br.Err = errorFromCode(it.Answer.code)
+			}
+		}
+		out[i] = br
+	}
+	return out
 }
 
 // Ask answers one question through the serving pipeline. ok is false for
-// unanswerable questions; err is non-nil only for serving-layer failures
-// (deadline exceeded while queued, server closed).
+// unanswerable questions; err is non-nil only for serving-layer failures.
+//
+// Deprecated: use Server.Query, which keeps the typed unanswerable errors
+// and the ranked interpretations this shim discards.
 func (sv *Server) Ask(ctx context.Context, question string) (Answer, bool, error) {
-	return sv.rt.Ask(ctx, question)
+	res, err := sv.Query(ctx, question, WithoutVariants(), WithTopK(0))
+	if err != nil {
+		if IsUnanswerable(err) {
+			return Answer{}, false, nil
+		}
+		return Answer{}, false, err
+	}
+	if res.Answer == nil {
+		return Answer{}, false, nil
+	}
+	return *res.Answer, true, nil
 }
 
 // BatchAnswer is one slot of a batch reply, aligned with the input order.
@@ -85,11 +193,26 @@ type BatchAnswer struct {
 	Err      error
 }
 
-// AskBatch answers a slice of questions concurrently over a bounded worker
-// pool, preserving input order. Each question goes through the full
-// serving pipeline, so duplicates inside one batch cost one engine call.
+// AskBatch answers a slice of questions concurrently, preserving input
+// order.
+//
+// Deprecated: use Server.QueryBatch, which keeps typed errors and full
+// Results.
 func (sv *Server) AskBatch(ctx context.Context, questions []string) []BatchAnswer {
-	return toBatchAnswers(sv.rt.AskBatch(ctx, questions))
+	brs := sv.QueryBatch(ctx, questions, WithoutVariants(), WithTopK(0))
+	out := make([]BatchAnswer, len(brs))
+	for i, br := range brs {
+		ba := BatchAnswer{Question: br.Question}
+		switch {
+		case br.Err == nil && br.Result != nil && br.Result.Answer != nil:
+			ba.Answer = *br.Result.Answer
+			ba.Answered = true
+		case br.Err != nil && !IsUnanswerable(br.Err):
+			ba.Err = br.Err
+		}
+		out[i] = ba
+	}
+	return out
 }
 
 // Metrics snapshots the serving runtime's counters and latency histograms.
@@ -97,22 +220,33 @@ func (sv *Server) Metrics() ServerMetrics {
 	return sv.rt.Metrics()
 }
 
+// WriteMetricsPrometheus renders the same snapshot in the Prometheus text
+// exposition format (kbqa_-prefixed counters, gauges and cumulative
+// histograms, with kbqa_query_errors_total labelled by error code);
+// PrometheusContentType is the matching Content-Type.
+func (sv *Server) WriteMetricsPrometheus(w io.Writer) error {
+	return serve.WritePrometheus(w, sv.rt.Metrics())
+}
+
+// PrometheusContentType is the Content-Type of WriteMetricsPrometheus
+// output.
+const PrometheusContentType = serve.PrometheusContentType
+
 // System returns the wrapped system (for /stats-style introspection).
 func (sv *Server) System() *System { return sv.sys }
 
-// Close puts the server into shutdown: subsequent Ask/AskBatch calls fail
-// fast while in-flight requests drain normally.
+// Close puts the server into shutdown: subsequent calls fail fast while
+// in-flight requests drain normally.
 func (sv *Server) Close() { sv.rt.Close() }
 
 // AskBatch is the uncached batch form of Ask: the questions fan out over a
 // bounded worker pool (GOMAXPROCS workers) and the replies come back in
 // input order. For sustained serving traffic prefer Server, which adds
 // caching, deduplication and admission control.
+//
+// Deprecated: build a Server and use QueryBatch.
 func (s *System) AskBatch(questions []string) []BatchAnswer {
-	return toBatchAnswers(serve.RunBatch(context.Background(), questions, 0, s.Ask))
-}
-
-func toBatchAnswers(items []serve.BatchItem[Answer]) []BatchAnswer {
+	items := serve.RunBatch(context.Background(), questions, 0, s.Ask)
 	out := make([]BatchAnswer, len(items))
 	for i, it := range items {
 		out[i] = BatchAnswer{Question: it.Question, Answer: it.Answer, Answered: it.OK, Err: it.Err}
