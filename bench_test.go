@@ -485,8 +485,14 @@ func serveFixture(b *testing.B) {
 			panic(err)
 		}
 		serveQs = sys.SampleQuestions(64)
-		serveCold = sys.Server(kbqa.ServerOptions{CacheEntries: -1})
-		serveWarm = sys.Server(kbqa.ServerOptions{})
+		serveCold, err = sys.Server(kbqa.ServerOptions{CacheEntries: -1})
+		if err != nil {
+			panic(err)
+		}
+		serveWarm, err = sys.Server(kbqa.ServerOptions{})
+		if err != nil {
+			panic(err)
+		}
 		for _, q := range serveQs {
 			serveWarm.Ask(context.Background(), q)
 		}

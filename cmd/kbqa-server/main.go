@@ -1,7 +1,8 @@
 // Command kbqa-server exposes a trained KBQA system over HTTP through the
-// production serving runtime (sharded answer cache keyed by question and
-// options, singleflight deduplication, admission control, batch executor,
-// metrics pipeline) on top of the unified Query API.
+// production serving runtime (generation-keyed answer cache — optionally
+// disk-backed so answers survive restarts — singleflight deduplication,
+// per-client rate limiting, admission control, batch executor, metrics
+// pipeline) on top of the unified Query API.
 //
 // Endpoints:
 //
@@ -16,13 +17,23 @@
 //	GET  /stats                      -> system statistics
 //	GET  /health                     -> liveness probe
 //
+// With -cache-dir the answer cache persists across restarts (append-only
+// checksummed segment, compacted at boot); -cache-ttl expires entries;
+// -warm N primes the cache with N training-corpus questions at boot;
+// -rate-limit R (with -rate-burst B) enforces a per-client token-bucket
+// quota, answering 429 with a Retry-After header once a client (identified
+// by X-API-Key, else remote address) exhausts its bucket.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting; per-request deadlines reach the engine's probe
-// loops, so expired requests stop working instead of leaking scans.
+// requests and flushing the persistent cache before exiting; per-request
+// deadlines reach the engine's probe loops, so expired requests stop
+// working instead of leaking scans.
 //
 // Usage:
 //
-//	kbqa-server -addr :8080 -flavor freebase -timeout 2s -cache 4096
+//	kbqa-server -addr :8080 -flavor freebase -timeout 2s -cache 4096 \
+//	    -cache-dir /var/lib/kbqa/cache -cache-ttl 1h -warm 256 \
+//	    -rate-limit 50 -rate-burst 100
 package main
 
 import (
@@ -32,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"net"
 	"net/http"
 	"os/signal"
 	"strconv"
@@ -57,8 +70,12 @@ type server struct {
 	srv *kbqa.Server
 }
 
-func newServer(sys *kbqa.System, o kbqa.ServerOptions) *server {
-	return &server{sys: sys, srv: sys.Server(o)}
+func newServer(sys *kbqa.System, o kbqa.ServerOptions) (*server, error) {
+	srv, err := sys.Server(o)
+	if err != nil {
+		return nil, err
+	}
+	return &server{sys: sys, srv: srv}, nil
 }
 
 type askResponse struct {
@@ -169,6 +186,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			askResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Questions), maxBatchSize)})
 		return
 	}
+	// One quota unit per question: a 256-question batch spends the same
+	// budget as 256 /ask calls.
+	if s.overQuota(w, r, len(req.Questions)) {
+		return
+	}
 	var opts []kbqa.QueryOption
 	if req.TopK > 0 {
 		k := req.TopK
@@ -221,10 +243,59 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.sys.Stats())
 }
 
+// clientKey identifies the caller for rate limiting: the X-API-Key header
+// when present (keyed quotas shared across a client's machines), else the
+// remote host. The header is trusted as-is — there is no key registry —
+// so against adversarial clients (who could mint a fresh key per request
+// for a fresh bucket) the limiter is a fairness mechanism, not a security
+// boundary; put an authenticating proxy in front for that.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// overQuota charges n quota units to the request's client; when the quota
+// is exhausted it writes the 429 + Retry-After refusal and reports true.
+func (s *server) overQuota(w http.ResponseWriter, r *http.Request, n int) bool {
+	ok, retry := s.srv.AllowN(clientKey(r), n)
+	if ok {
+		return false
+	}
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSONStatus(w, http.StatusTooManyRequests,
+		askResponse{Error: "rate limit exceeded", ErrorCode: "rate_limited"})
+	return true
+}
+
+// limited wraps an answering handler with the per-client rate limit:
+// over-quota requests are refused with 429 and a Retry-After header before
+// they reach the serving pipeline. /batch charges per question inside its
+// handler instead (batching must not amplify a client's quota 256×), and
+// introspection endpoints (/metrics, /stats, /health) are never limited —
+// an over-quota client must still be observable.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.overQuota(w, r, 1) {
+			return
+		}
+		h(w, r)
+	}
+}
+
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ask", s.handleAsk)
-	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/ask", s.limited(s.handleAsk))
+	mux.HandleFunc("/batch", s.handleBatch) // charges per question, see overQuota
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
@@ -269,6 +340,11 @@ func main() {
 	seed := flag.Int64("seed", 42, "generation seed")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request answer deadline (0 = none)")
 	cacheEntries := flag.Int("cache", 0, "answer cache capacity (0 = default 4096, negative disables)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent answer cache (empty = memory only)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "answer cache entry time-to-live (0 = no expiry)")
+	warm := flag.Int("warm", 0, "warm the cache with N training-corpus questions at boot (0 = off)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client sustained requests/second (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client burst allowance (0 = ceil of -rate-limit)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent engine calls (0 = 4×GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "RDF store subject-hash shards (0 = default, 1 = unsharded)")
 	flag.Parse()
@@ -281,11 +357,42 @@ func main() {
 	st := sys.Stats()
 	log.Printf("ready: %d templates over %d predicates", st.Templates, st.Intents)
 
-	s := newServer(sys, kbqa.ServerOptions{
+	s, err := newServer(sys, kbqa.ServerOptions{
 		CacheEntries:  *cacheEntries,
+		CacheDir:      *cacheDir,
+		CacheTTL:      *cacheTTL,
 		MaxConcurrent: *maxConcurrent,
 		Timeout:       *timeout,
+		RateLimit:     *rateLimit,
+		RateBurst:     *rateBurst,
 	})
+	if err != nil {
+		log.Fatalf("kbqa-server: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *cacheDir != "" {
+		m := s.srv.Metrics()
+		log.Printf("persistent cache %s: %d entries replayed, generation %d",
+			*cacheDir, m.CacheEntries, m.Generation)
+	}
+	if *warm > 0 {
+		if *cacheEntries < 0 {
+			log.Fatalf("kbqa-server: -warm needs a cache; remove -warm or enable caching (-cache >= 0)")
+		}
+		qs := sys.SampleQuestions(*warm)
+		start := time.Now()
+		// Under the signal context, SIGINT during a long warm aborts it
+		// instead of being deferred until after.
+		n := s.srv.WarmFromCorpus(ctx, qs)
+		log.Printf("warmed %d/%d corpus questions in %v", n, len(qs), time.Since(start).Round(time.Millisecond))
+		// Make the warm work durable now: a later startup failure
+		// (port in use, say) must not discard it.
+		if err := s.srv.Flush(); err != nil {
+			log.Printf("kbqa-server: flush warmed cache: %v", err)
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:         *addr,
@@ -293,9 +400,6 @@ func main() {
 		ReadTimeout:  5 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -305,6 +409,9 @@ func main() {
 
 	select {
 	case err := <-errCh:
+		// Flush the cache (warm work included) before dying on a listen
+		// failure — log.Fatalf would skip the graceful path below.
+		s.srv.Close()
 		log.Fatalf("kbqa-server: %v", err)
 	case <-ctx.Done():
 	}
@@ -315,6 +422,10 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("kbqa-server: shutdown: %v", err)
 	}
-	s.srv.Close()
+	// Close drains in-flight queries, then flushes the persistent cache so
+	// the next boot replays everything this process answered.
+	if err := s.srv.Close(); err != nil {
+		log.Printf("kbqa-server: close answer cache: %v", err)
+	}
 	log.Printf("bye")
 }

@@ -25,7 +25,10 @@ func testServer(t *testing.T) *server {
 		if err != nil {
 			panic(err)
 		}
-		srv = newServer(sys, kbqa.ServerOptions{})
+		srv, err = newServer(sys, kbqa.ServerOptions{})
+		if err != nil {
+			panic(err)
+		}
 	})
 	return srv
 }
@@ -192,7 +195,10 @@ func TestBatchAllErroredMapsToErrStatus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(sys, kbqa.ServerOptions{})
+	s, err := newServer(sys, kbqa.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.srv.Close() // draining server: every item gets ErrShuttingDown
 	body, _ := json.Marshal(batchRequest{Questions: []string{"a", "b"}})
 	rec := postBatch(t, s, string(body))
@@ -218,7 +224,10 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(sys, kbqa.ServerOptions{CacheEntries: 64})
+	s, err := newServer(sys, kbqa.ServerOptions{CacheEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.mux())
 	defer ts.Close()
 

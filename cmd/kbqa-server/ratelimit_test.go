@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/kbqa"
+)
+
+// TestRateLimited429 drives the real mux with a per-client quota: the
+// over-quota client gets 429 with a Retry-After header, the rejection
+// lands in kbqa_ratelimit_rejected_total, and a differently-keyed client
+// sails through. The refill rate is negligible so the outcome is
+// deterministic however slowly the test runs.
+func TestRateLimited429(t *testing.T) {
+	sys, err := kbqa.Build(kbqa.Options{Flavor: "dbpedia", Seed: 5, Scale: 8, PairsPerIntent: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(sys, kbqa.ServerOptions{RateLimit: 0.001, RateBurst: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+	q := sys.SampleQuestions(1)[0]
+
+	get := func(apiKey string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/ask?q="+escapeQuery(q), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if apiKey != "" {
+			req.Header.Set("X-API-Key", apiKey)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp
+	}
+
+	for i := 0; i < 2; i++ {
+		if resp := get("client-a"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d inside burst: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := get("client-a")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	if resp := get("client-b"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("distinct client throttled: status %d", resp.StatusCode)
+	}
+
+	// The rejection is visible on both metrics surfaces.
+	var m kbqa.ServerMetrics
+	jr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	if err := json.NewDecoder(jr.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.RateLimitRejected != 1 {
+		t.Fatalf("ratelimit_rejected = %d, want 1", m.RateLimitRejected)
+	}
+	pr, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	text, err := io.ReadAll(pr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "kbqa_ratelimit_rejected_total 1\n") {
+		t.Errorf("prometheus exposition missing rejection counter:\n%s", text)
+	}
+}
+
+// TestBatchChargedPerQuestion: a /batch of n questions spends n quota
+// units, so batching is not a 256× amplifier over /ask.
+func TestBatchChargedPerQuestion(t *testing.T) {
+	sys, err := kbqa.Build(kbqa.Options{Flavor: "dbpedia", Seed: 5, Scale: 8, PairsPerIntent: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(sys, kbqa.ServerOptions{RateLimit: 0.001, RateBurst: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+	qs := sys.SampleQuestions(3)
+
+	post := func() *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(batchRequest{Questions: qs})
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/batch", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", "batcher")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp
+	}
+	// First batch (3 questions, balance 4 → 1) and second (balance 1 → -2)
+	// are admitted on positive balance; the third finds the debt.
+	for i := 0; i < 2; i++ {
+		if resp := post(); resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third batch status = %d, want 429 (6 questions spent against burst 4)", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+// TestClientKeyFallsBackToRemoteHost: without an API key the limiter keys
+// on the remote host, so the port churn of separate connections doesn't
+// grant fresh quota.
+func TestClientKeyFallsBackToRemoteHost(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/ask?q=x", nil)
+	r.RemoteAddr = "192.0.2.7:1234"
+	if got := clientKey(r); got != "192.0.2.7" {
+		t.Errorf("clientKey = %q, want the bare host", got)
+	}
+	r.Header.Set("X-API-Key", "team-42")
+	if got := clientKey(r); got != "team-42" {
+		t.Errorf("clientKey = %q, want the API key", got)
+	}
+}

@@ -1,0 +1,47 @@
+package learn
+
+import "testing"
+
+// TestFingerprintDeterministicAndContentSensitive: equal models hash
+// equal (map layout must not leak in — this is what makes the serving
+// layer's cache lineage tags stable across processes), and any content
+// difference changes the hash.
+func TestFingerprintDeterministicAndContentSensitive(t *testing.T) {
+	build := func() *Model {
+		return &Model{
+			Theta: map[string]map[string]float64{
+				"what is the $p of $city": {"population": 0.9, "mayor": 0.1},
+				"who is the $p of $city":  {"mayor": 1.0},
+			},
+			TemplateFreq: map[string]int{
+				"what is the $p of $city": 7,
+				"who is the $p of $city":  3,
+			},
+		}
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal models fingerprint differently")
+	}
+	for i := 0; i < 10; i++ { // map iteration varies per run; hash must not
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatal("fingerprint unstable across calls")
+		}
+	}
+
+	c := build()
+	c.Theta["what is the $p of $city"]["population"] = 0.8999
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Error("theta change not reflected in fingerprint")
+	}
+	d := build()
+	d.TemplateFreq["who is the $p of $city"] = 4
+	if d.Fingerprint() == a.Fingerprint() {
+		t.Error("frequency change not reflected in fingerprint")
+	}
+	e := build()
+	e.Theta["a new template"] = map[string]float64{"p": 1}
+	if e.Fingerprint() == a.Fingerprint() {
+		t.Error("added template not reflected in fingerprint")
+	}
+}

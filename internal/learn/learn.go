@@ -22,8 +22,10 @@
 package learn
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"sort"
@@ -119,6 +121,44 @@ func (m *Model) TemplatesByFrequency() []string {
 		return out[i] < out[j]
 	})
 	return out
+}
+
+// Fingerprint returns a deterministic content hash of the model —
+// iteration is sorted, so equal models hash equal regardless of map
+// layout (gob serialization does not have this property), and θ values
+// are quantized to 1e-6 so the last-bit float noise EM picks up from
+// summation order doesn't make re-learned-identical models look
+// different across processes. The serving layer uses the hash to bind
+// persisted cache generations to the model that computed them.
+func (m *Model) Fingerprint() uint64 {
+	h := fnv.New64a()
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	ts := make([]string, 0, len(m.Theta))
+	for t := range m.Theta {
+		ts = append(ts, t)
+	}
+	sort.Strings(ts)
+	for _, t := range ts {
+		io.WriteString(h, t)
+		h.Write([]byte{0})
+		dist := m.Theta[t]
+		ps := make([]string, 0, len(dist))
+		for p := range dist {
+			ps = append(ps, p)
+		}
+		sort.Strings(ps)
+		for _, p := range ps {
+			io.WriteString(h, p)
+			h.Write([]byte{0})
+			writeU64(uint64(int64(math.Round(dist[p] * 1e6))))
+		}
+		writeU64(uint64(m.TemplateFreq[t]))
+	}
+	return h.Sum64()
 }
 
 // Save writes the model with encoding/gob.

@@ -5,11 +5,12 @@ import (
 	"sync/atomic"
 )
 
-// answerCache is a sharded LRU cache over normalized questions. Each shard
-// is an independently mutex-guarded LRU list + map, so concurrent lookups
-// of different questions rarely contend on the same lock. The cache stores
-// negative results too ("no answer" replies), which protects the engine
-// from repeated unanswerable questions just as well as from popular ones.
+// answerCache is a sharded LRU cache over normalized questions, the
+// in-memory Store implementation. Each shard is an independently
+// mutex-guarded LRU list + map, so concurrent lookups of different
+// questions rarely contend on the same lock. The cache stores negative
+// results too ("no answer" replies), which protects the engine from
+// repeated unanswerable questions just as well as from popular ones.
 type answerCache[A any] struct {
 	shards    []*cacheShard[A]
 	evictions atomic.Uint64
@@ -19,8 +20,7 @@ type answerCache[A any] struct {
 // threaded through the shard's sentinel root.
 type cached[A any] struct {
 	key        string
-	val        A
-	ok         bool
+	e          Entry[A]
 	prev, next *cached[A]
 }
 
@@ -66,21 +66,21 @@ func (c *answerCache[A]) shard(key string) *cacheShard[A] {
 	return c.shards[fnv1a(key)%uint32(len(c.shards))]
 }
 
-// get returns the cached answer and whether the key was resident.
-func (c *answerCache[A]) get(key string) (val A, ok bool, hit bool) {
+// Get returns the cached entry and whether the key was resident.
+func (c *answerCache[A]) Get(key string) (Entry[A], bool) {
 	return c.shard(key).get(key)
 }
 
-// put inserts or refreshes an entry, bumping the eviction counter when a
+// Put inserts or refreshes an entry, bumping the eviction counter when a
 // cold entry is displaced.
-func (c *answerCache[A]) put(key string, val A, ok bool) {
-	if c.shard(key).put(key, val, ok) {
+func (c *answerCache[A]) Put(key string, e Entry[A]) {
+	if c.shard(key).put(key, e) {
 		c.evictions.Add(1)
 	}
 }
 
-// len reports the number of resident entries across all shards.
-func (c *answerCache[A]) len() int {
+// Len reports the number of resident entries across all shards.
+func (c *answerCache[A]) Len() int {
 	n := 0
 	for _, s := range c.shards {
 		s.mu.Lock()
@@ -90,29 +90,52 @@ func (c *answerCache[A]) len() int {
 	return n
 }
 
-func (s *cacheShard[A]) get(key string) (val A, ok bool, hit bool) {
+// Evictions counts entries displaced by capacity pressure.
+func (c *answerCache[A]) Evictions() uint64 { return c.evictions.Load() }
+
+// entries snapshots every resident entry, least recently used first within
+// each shard, for the disk store's online compaction (replaying the
+// snapshot in order re-warms the hottest entries last).
+func (c *answerCache[A]) entries() []liveEntry[A] {
+	var out []liveEntry[A]
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for e := s.root.prev; e != &s.root; e = e.prev {
+			out = append(out, liveEntry[A]{key: e.key, e: e.e})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Flush is a no-op: memory is the only storage.
+func (c *answerCache[A]) Flush() error { return nil }
+
+// Close is a no-op for the memory store.
+func (c *answerCache[A]) Close() error { return nil }
+
+func (s *cacheShard[A]) get(key string) (Entry[A], bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.items[key]
 	if e == nil {
-		var zero A
-		return zero, false, false
+		return Entry[A]{}, false
 	}
 	s.detach(e)
 	s.pushFront(e)
-	return e.val, e.ok, true
+	return e.e, true
 }
 
-func (s *cacheShard[A]) put(key string, val A, ok bool) (evicted bool) {
+func (s *cacheShard[A]) put(key string, entry Entry[A]) (evicted bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e := s.items[key]; e != nil {
-		e.val, e.ok = val, ok
+		e.e = entry
 		s.detach(e)
 		s.pushFront(e)
 		return false
 	}
-	e := &cached[A]{key: key, val: val, ok: ok}
+	e := &cached[A]{key: key, e: entry}
 	s.items[key] = e
 	s.pushFront(e)
 	if len(s.items) > s.cap {

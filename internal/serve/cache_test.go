@@ -8,47 +8,47 @@ import (
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newAnswerCache[string](1, 2)
-	c.put("a", "A", true)
-	c.put("b", "B", true)
-	if _, _, hit := c.get("a"); !hit { // refresh a: LRU order is now b, a
+	c.Put("a", Entry[string]{Val: "A", OK: true})
+	c.Put("b", Entry[string]{Val: "B", OK: true})
+	if _, hit := c.Get("a"); !hit { // refresh a: LRU order is now b, a
 		t.Fatal("a not resident")
 	}
-	c.put("c", "C", true)
-	if _, _, hit := c.get("b"); hit {
+	c.Put("c", Entry[string]{Val: "C", OK: true})
+	if _, hit := c.Get("b"); hit {
 		t.Error("b should have been evicted as LRU")
 	}
-	if _, _, hit := c.get("a"); !hit {
+	if _, hit := c.Get("a"); !hit {
 		t.Error("a was refreshed and must survive")
 	}
-	if _, _, hit := c.get("c"); !hit {
+	if _, hit := c.Get("c"); !hit {
 		t.Error("c was just inserted")
 	}
-	if ev := c.evictions.Load(); ev != 1 {
+	if ev := c.Evictions(); ev != 1 {
 		t.Errorf("evictions = %d, want 1", ev)
 	}
-	if n := c.len(); n != 2 {
+	if n := c.Len(); n != 2 {
 		t.Errorf("len = %d, want 2", n)
 	}
 }
 
 func TestCacheUpdateInPlace(t *testing.T) {
 	c := newAnswerCache[string](1, 2)
-	c.put("a", "A1", true)
-	c.put("a", "A2", false)
-	val, ok, hit := c.get("a")
-	if !hit || ok || val != "A2" {
-		t.Errorf("got (%q, %v, %v), want (A2, false, true)", val, ok, hit)
+	c.Put("a", Entry[string]{Val: "A1", OK: true})
+	c.Put("a", Entry[string]{Val: "A2"})
+	e, hit := c.Get("a")
+	if !hit || e.OK || e.Val != "A2" {
+		t.Errorf("got (%q, %v, %v), want (A2, false, true)", e.Val, e.OK, hit)
 	}
-	if n := c.len(); n != 1 {
+	if n := c.Len(); n != 1 {
 		t.Errorf("len = %d, want 1", n)
 	}
 }
 
 func TestCacheNegativeEntries(t *testing.T) {
 	c := newAnswerCache[string](4, 8)
-	c.put("unanswerable", "", false)
-	if _, ok, hit := c.get("unanswerable"); !hit || ok {
-		t.Errorf("negative entry: hit=%v ok=%v, want hit=true ok=false", hit, ok)
+	c.Put("unanswerable", Entry[string]{})
+	if e, hit := c.Get("unanswerable"); !hit || e.OK {
+		t.Errorf("negative entry: hit=%v ok=%v, want hit=true ok=false", hit, e.OK)
 	}
 }
 
@@ -64,17 +64,17 @@ func TestCacheShardedConcurrency(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				key := fmt.Sprintf("q%d", (g*31+i)%200)
-				if _, _, hit := c.get(key); !hit {
-					c.put(key, i, true)
+				if _, hit := c.Get(key); !hit {
+					c.Put(key, Entry[int]{Val: i, OK: true})
 				}
 			}
 		}(g)
 	}
 	wg.Wait()
-	if n := c.len(); n > capacity {
+	if n := c.Len(); n > capacity {
 		t.Errorf("resident entries %d exceed capacity %d", n, capacity)
 	}
-	if n := c.len(); n == 0 {
+	if n := c.Len(); n == 0 {
 		t.Error("cache empty after load")
 	}
 }
@@ -82,7 +82,7 @@ func TestCacheShardedConcurrency(t *testing.T) {
 func TestFnv1aSpreads(t *testing.T) {
 	c := newAnswerCache[int](8, 800)
 	for i := 0; i < 400; i++ {
-		c.put(fmt.Sprintf("question number %d", i), i, true)
+		c.Put(fmt.Sprintf("question number %d", i), Entry[int]{Val: i, OK: true})
 	}
 	for i, s := range c.shards {
 		s.mu.Lock()

@@ -136,13 +136,15 @@ func quantile(counts []uint64, total uint64, q float64) float64 {
 // metrics is the runtime's self-instrumentation: cheap atomic counters and
 // per-stage histograms, snapshotted on demand for the /metrics endpoint.
 type metrics struct {
-	served   atomic.Uint64 // requests that reached the cache/engine path
-	hits     atomic.Uint64 // answered straight from the cache
-	misses   atomic.Uint64 // had to consult the flight group / engine
-	deduped  atomic.Uint64 // misses resolved by joining an in-flight leader
-	rejected atomic.Uint64 // failed on a non-panic serving error: admission/flight deadline, or an engine call aborted by its context
-	panics   atomic.Uint64 // requests that surfaced a contained engine panic
-	inFlight atomic.Int64  // Ask calls currently executing
+	served      atomic.Uint64 // requests that reached the cache/engine path
+	hits        atomic.Uint64 // answered straight from the cache
+	persistHits atomic.Uint64 // hits served by entries replayed from the disk store
+	misses      atomic.Uint64 // had to consult the flight group / engine
+	deduped     atomic.Uint64 // misses resolved by joining an in-flight leader
+	rejected    atomic.Uint64 // failed on a non-panic serving error: admission/flight deadline, or an engine call aborted by its context
+	rlRejected  atomic.Uint64 // requests rejected by the per-client rate limiter (counted by the layer holding the Limiter)
+	panics      atomic.Uint64 // requests that surfaced a contained engine panic
+	inFlight    atomic.Int64  // Ask calls currently executing
 
 	parse histogram
 	match histogram
@@ -179,13 +181,29 @@ func (m *metrics) observeStages(tm StageTimings) {
 // CacheHits + CacheMisses == Served for all quiescent snapshots: every
 // request records exactly one hit or miss.
 type Snapshot struct {
-	Served         uint64  `json:"served"`
-	CacheHits      uint64  `json:"cache_hits"`
-	CacheMisses    uint64  `json:"cache_misses"`
-	CacheEvictions uint64  `json:"cache_evictions"`
-	CacheEntries   int     `json:"cache_entries"`
-	HitRate        float64 `json:"hit_rate"`
-	Deduped        uint64  `json:"deduped"`
+	Served      uint64 `json:"served"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// CachePersistHits counts the subset of CacheHits served by entries
+	// replayed from a persistent store — answers this process never
+	// computed (the kbqa_cache_persist_hits_total counter).
+	CachePersistHits uint64 `json:"cache_persist_hits"`
+	// CachePersistDropped counts entries a persistent store kept
+	// memory-only (unencodable value or oversized record) — answers that
+	// will not survive a restart.
+	CachePersistDropped uint64  `json:"cache_persist_dropped,omitempty"`
+	CacheEvictions      uint64  `json:"cache_evictions"`
+	CacheEntries        int     `json:"cache_entries"`
+	HitRate             float64 `json:"hit_rate"`
+	// Generation is the model generation keying new cache entries; it
+	// bumps on every retrain (Learn/LoadModel), unreaching prior entries.
+	Generation uint64 `json:"generation"`
+	Deduped    uint64 `json:"deduped"`
+	// RateLimitRejected counts requests refused by the per-client rate
+	// limiter before reaching the serving pipeline (the
+	// kbqa_ratelimit_rejected_total counter). Rejected requests never
+	// enter Served.
+	RateLimitRejected uint64 `json:"ratelimit_rejected"`
 	// Rejected counts requests that failed on a non-panic serving error:
 	// gave up in admission or flight wait, or were admitted but aborted by
 	// their context inside the engine. The Errors map breaks the failures
@@ -203,13 +221,15 @@ type Snapshot struct {
 
 func (m *metrics) snapshot() Snapshot {
 	s := Snapshot{
-		Served:       m.served.Load(),
-		CacheHits:    m.hits.Load(),
-		CacheMisses:  m.misses.Load(),
-		Deduped:      m.deduped.Load(),
-		Rejected:     m.rejected.Load(),
-		EnginePanics: m.panics.Load(),
-		InFlight:     m.inFlight.Load(),
+		Served:            m.served.Load(),
+		CacheHits:         m.hits.Load(),
+		CacheMisses:       m.misses.Load(),
+		CachePersistHits:  m.persistHits.Load(),
+		Deduped:           m.deduped.Load(),
+		Rejected:          m.rejected.Load(),
+		RateLimitRejected: m.rlRejected.Load(),
+		EnginePanics:      m.panics.Load(),
+		InFlight:          m.inFlight.Load(),
 		Stages: map[string]HistogramSnapshot{
 			StageParse: m.parse.snapshot(),
 			StageMatch: m.match.snapshot(),

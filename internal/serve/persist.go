@@ -1,0 +1,576 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DiskStore is the persistent Store: a sharded in-memory LRU (the serving
+// fast path — Get never touches the disk) in front of a single append-only
+// segment file. Every Put appends one length-prefixed, checksummed record;
+// generation bumps append a generation record carrying the current model
+// tag; Open replays the segment, drops dead weight (superseded keys, dead
+// generations, entries whose generation belongs to a different model, a
+// torn tail from a crash) and compacts the survivors into a fresh segment
+// before serving. While running, the segment is re-compacted from the
+// in-memory index every CompactEvery appended bytes, so it stays bounded
+// on long-lived servers.
+//
+// Durability is flush-based, not per-write: records sit in a buffered
+// writer until Flush or Close (the runtime flushes on Close, after draining
+// in-flight computations). A process that dies between flushes loses only
+// the unflushed suffix — the checksummed framing means a torn tail is
+// detected and discarded on the next open, never served.
+//
+// The store is single-writer: exactly one process may have a directory
+// open at a time. There is no cross-process lock; a second opener compacts
+// the segment out from under the first, whose buffered writes then land in
+// the unlinked file and are lost (each process's answers stay correct —
+// only persistence of the loser's writes is forfeited).
+type DiskStore[A any] struct {
+	mem          *answerCache[A]
+	codec        Codec[A]
+	path         string
+	meta         string
+	gen          atomic.Uint64
+	compactEvery int64
+	encodeDrops  atomic.Uint64 // entries kept memory-only (unencodable or oversized)
+
+	mu       sync.Mutex // guards the segment file, writer, tag, and error state
+	tag      string     // model tag recorded in generation records
+	appended int64      // bytes appended since the last compaction
+	f        *os.File
+	w        *bufio.Writer
+	writeErr error // sticky: first append/flush failure, surfaced by Flush/Close
+	closed   bool
+}
+
+// DiskOptions tunes OpenDiskStore; the zero value matches the runtime's
+// in-memory defaults.
+type DiskOptions struct {
+	// Shards and Entries size the in-memory index in front of the segment
+	// (defaults 16 shards × 4096 entries). Entries bounds memory only: the
+	// segment keeps every live record, and an entry evicted from memory is
+	// resurrected by the next open.
+	Shards  int
+	Entries int
+	// Meta fingerprints the lineage of the answers (world identity). A
+	// segment written under a different Meta is discarded at open instead
+	// of replayed — a cache directory can never poison a different system.
+	Meta string
+	// ModelTag identifies the content of the model whose answers the
+	// current generation holds (SetModelTag updates it on retrain). Every
+	// generation record carries the tag current at bump time; if at open
+	// the persisted generation's tag differs from ModelTag, the entries
+	// were computed by a model this process is not running — the
+	// generation is advanced past them and they are dropped, rather than
+	// served against the wrong model. Empty tags compare like any other
+	// value, so tag-less stores keep plain generation semantics.
+	ModelTag string
+	// CompactEvery triggers an online compaction after that many bytes of
+	// appended records, bounding segment growth (and replay cost) on
+	// long-running servers whose keys churn under TTL or retrains. The
+	// online pass rewrites the segment from the in-memory index, so
+	// entries that were evicted from memory stop being resurrected by the
+	// next open. 0 means the default (16 MiB); negative disables online
+	// compaction (compaction still happens at every open).
+	CompactEvery int64
+}
+
+// defaultCompactEvery is the appended-bytes budget between online
+// compactions.
+const defaultCompactEvery = 16 << 20
+
+const (
+	// segMagic heads every segment file; a version bump changes the suffix.
+	segMagic = "KBQASEG1"
+	// Record types.
+	recEntry = 1 // one cached answer
+	recGen   = 2 // a generation bump
+	// maxRecordLen bounds a record's declared payload length so a corrupt
+	// length prefix cannot drive a giant allocation.
+	maxRecordLen = 1 << 26
+	// segName is the segment file inside the store directory.
+	segName = "answers.seg"
+)
+
+// errBadRecord marks a truncated or corrupt record; open treats it as the
+// end of the valid prefix and drops everything after it.
+var errBadRecord = errors.New("serve: bad segment record")
+
+// OpenDiskStore opens (or creates) the persistent answer store rooted at
+// dir, replaying and compacting any existing segment. A nil codec defaults
+// to JSONCodec. The returned store carries the last persisted generation
+// (see GenerationStore); entries of older generations are dropped during
+// compaction.
+func OpenDiskStore[A any](dir string, codec Codec[A], o DiskOptions) (*DiskStore[A], error) {
+	if codec == nil {
+		codec = JSONCodec[A]{}
+	}
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.Entries <= 0 {
+		o.Entries = 4096
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open disk store: %w", err)
+	}
+	s := &DiskStore[A]{
+		mem:          newAnswerCache[A](o.Shards, o.Entries),
+		codec:        codec,
+		path:         filepath.Join(dir, segName),
+		meta:         o.Meta,
+		tag:          o.ModelTag,
+		compactEvery: o.CompactEvery,
+	}
+	if s.compactEvery == 0 {
+		s.compactEvery = defaultCompactEvery
+	}
+	live, gen, genTag, err := s.replay()
+	if err != nil {
+		return nil, err
+	}
+	if genTag != o.ModelTag {
+		// The persisted answers belong to a model this process is not
+		// running (a retrained run's cache opened by a fresh seed model,
+		// or vice versa). Advancing the generation keeps them durably
+		// unreachable; serving them would be silently wrong.
+		if gen > 0 || len(live) > 0 {
+			gen++
+		}
+		live = nil
+	}
+	s.gen.Store(gen)
+	if err := s.compact(live, gen, o.ModelTag); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open segment for append: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	for _, le := range live {
+		e := le.e
+		e.Persisted = true
+		s.mem.Put(le.key, e)
+	}
+	return s, nil
+}
+
+// liveEntry is one survivor of replay, in first-seen key order.
+type liveEntry[A any] struct {
+	key string
+	e   Entry[A]
+}
+
+// replay scans the existing segment (if any) and returns the live entries —
+// last record per key, latest generation only — plus the highest generation
+// seen and the model tag recorded with it. A missing file, a foreign
+// magic/meta header, or a corrupt prefix yields an empty store; a corrupt
+// or torn tail keeps the valid prefix.
+func (s *DiskStore[A]) replay() ([]liveEntry[A], uint64, string, error) {
+	f, err := os.Open(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, s.tag, nil
+	}
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("serve: open segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if !readSegHeader(br, s.meta) {
+		return nil, 0, s.tag, nil // foreign or mangled segment: start fresh
+	}
+
+	var (
+		order  []liveEntry[A]
+		index  = make(map[string]int)
+		gen    uint64
+		genTag string
+	)
+	for {
+		payload, err := readRecord(br)
+		if err != nil {
+			// io.EOF is a clean end; anything else is a torn or corrupt
+			// tail — keep the prefix read so far.
+			break
+		}
+		switch payload[0] {
+		case recGen:
+			if g, tag, ok := decodeGenPayload(payload); ok && g >= gen {
+				gen = g
+				genTag = tag
+			}
+		case recEntry:
+			key, val, eGen, at, ok, err := decodeEntryPayload(payload)
+			if err != nil {
+				continue // framing was valid but the body wasn't; skip
+			}
+			a, err := s.codec.Decode(val)
+			if err != nil {
+				continue // codec drift (e.g. a changed answer type)
+			}
+			// A generation record always precedes that generation's
+			// entries in the log (SetGeneration writes it before any Put
+			// of the new generation), so eGen never exceeds gen here;
+			// entries of other generations are filtered below.
+			e := Entry[A]{Val: a, OK: ok, Gen: eGen, At: at}
+			if i, seen := index[key]; seen {
+				order[i].e = e
+			} else {
+				index[key] = len(order)
+				order = append(order, liveEntry[A]{key: key, e: e})
+			}
+		}
+	}
+	// Entries of dead generations are unreachable (the runtime keys by
+	// generation) — drop them here so they stop costing disk and replay.
+	live := order[:0]
+	for _, le := range order {
+		if le.e.Gen == gen {
+			live = append(live, le)
+		}
+	}
+	return live, gen, genTag, nil
+}
+
+// compact rewrites the segment to exactly the live set (plus one generation
+// record) and atomically renames it into place, so every open — and every
+// online compaction — leaves a dense, checksum-clean file.
+func (s *DiskStore[A]) compact(live []liveEntry[A], gen uint64, tag string) error {
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("serve: compact segment: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	writeSegHeader(w, s.meta)
+	writeRecord(w, encodeGenPayload(gen, tag))
+	for _, le := range live {
+		val, err := s.codec.Encode(le.e.Val)
+		if err != nil {
+			continue
+		}
+		writeRecord(w, encodeEntryPayload(le.key, val, le.e.Gen, le.e.At.UnixNano(), le.e.OK))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: compact segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: compact segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: compact segment: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("serve: compact segment: %w", err)
+	}
+	return nil
+}
+
+// Get serves from the in-memory index; the segment is write-only between
+// opens.
+func (s *DiskStore[A]) Get(key string) (Entry[A], bool) { return s.mem.Get(key) }
+
+// Put makes the entry resident and appends it to the segment. Disk failures
+// are sticky and surfaced by Flush/Close; the memory path keeps serving. An
+// entry whose value the codec cannot encode (or whose record would exceed
+// the reader's size bound) is a per-value problem, not a store failure: it
+// stays memory-only — losing one entry's restart survival — and persistence
+// continues for everything else.
+func (s *DiskStore[A]) Put(key string, e Entry[A]) {
+	s.mem.Put(key, e)
+	val, err := s.codec.Encode(e.Val)
+	if err != nil {
+		s.encodeDrops.Add(1)
+		return
+	}
+	s.append(encodeEntryPayload(key, val, e.Gen, e.At.UnixNano(), e.OK))
+}
+
+// Len reports in-memory resident entries.
+func (s *DiskStore[A]) Len() int { return s.mem.Len() }
+
+// Evictions counts memory-index evictions; evicted entries stay on disk
+// until the next compaction.
+func (s *DiskStore[A]) Evictions() uint64 { return s.mem.Evictions() }
+
+// EncodeDrops counts entries kept memory-only because their value was
+// unencodable or their record oversized — answers that will not survive a
+// restart. Surfaced as kbqa_cache_persist_dropped_total.
+func (s *DiskStore[A]) EncodeDrops() uint64 { return s.encodeDrops.Load() }
+
+// Generation returns the last persisted model generation.
+func (s *DiskStore[A]) Generation() uint64 { return s.gen.Load() }
+
+// SetGeneration records a model-generation bump durably, so entries
+// invalidated before a restart stay invalidated after it. The record
+// carries the current model tag (SetModelTag), binding the new generation
+// to the model whose answers it will hold. The stored generation only
+// moves forward: when two retrain hooks race, the one carrying the older
+// number is already superseded and must neither regress the counter (an
+// online compaction filtering on it would resurrect invalidated entries
+// as the durable live set) nor append its stale record.
+func (s *DiskStore[A]) SetGeneration(gen uint64) {
+	for {
+		cur := s.gen.Load()
+		if gen <= cur {
+			return
+		}
+		if s.gen.CompareAndSwap(cur, gen) {
+			break
+		}
+	}
+	s.mu.Lock()
+	tag := s.tag
+	s.mu.Unlock()
+	s.append(encodeGenPayload(gen, tag))
+}
+
+// SetModelTag updates the model-content tag recorded by subsequent
+// generation bumps. Callers swapping models (Learn/LoadModel) set the new
+// model's tag before bumping the generation, so the segment always knows
+// which model computed the current generation's answers — and a later open
+// under a different model refuses to serve them.
+func (s *DiskStore[A]) SetModelTag(tag string) {
+	s.mu.Lock()
+	s.tag = tag
+	s.mu.Unlock()
+}
+
+// append frames and buffers one record, triggering an online compaction
+// once enough bytes have accumulated; I/O errors are sticky. An oversized
+// payload is skipped instead of written: readRecord would reject it as
+// corrupt at the next open and drop everything after it with it.
+func (s *DiskStore[A]) append(payload []byte) {
+	if len(payload) > maxRecordLen {
+		s.encodeDrops.Add(1)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.writeErr != nil {
+		return
+	}
+	if err := writeRecord(s.w, payload); err != nil {
+		s.writeErr = fmt.Errorf("serve: append segment record: %w", err)
+		return
+	}
+	s.appended += int64(8 + len(payload))
+	if s.compactEvery > 0 && s.appended >= s.compactEvery {
+		s.compactOnlineLocked()
+	}
+}
+
+// compactOnlineLocked rewrites the segment from the in-memory index —
+// current-generation entries only, least recently used first — so a
+// long-running server's segment stays proportional to its resident set
+// instead of growing with every TTL recompute and retrain. Entries already
+// evicted from memory are dropped (they would only have been resurrected at
+// the next open). Called with s.mu held.
+func (s *DiskStore[A]) compactOnlineLocked() {
+	if err := s.w.Flush(); err != nil {
+		s.writeErr = fmt.Errorf("serve: flush before compaction: %w", err)
+		return
+	}
+	s.f.Close()
+	gen := s.gen.Load()
+	var live []liveEntry[A]
+	for _, le := range s.mem.entries() {
+		if le.e.Gen == gen {
+			live = append(live, le)
+		}
+	}
+	if err := s.compact(live, gen, s.tag); err != nil {
+		s.writeErr = err
+		return
+	}
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.writeErr = fmt.Errorf("serve: reopen segment after compaction: %w", err)
+		return
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.appended = 0
+}
+
+// Flush pushes buffered records through to the OS and syncs the file,
+// returning the first write error seen so far.
+func (s *DiskStore[A]) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *DiskStore[A]) flushLocked() error {
+	if s.closed {
+		return s.writeErr
+	}
+	if err := s.w.Flush(); err != nil && s.writeErr == nil {
+		s.writeErr = fmt.Errorf("serve: flush segment: %w", err)
+	}
+	if err := s.f.Sync(); err != nil && s.writeErr == nil {
+		s.writeErr = fmt.Errorf("serve: sync segment: %w", err)
+	}
+	return s.writeErr
+}
+
+// Close flushes and closes the segment; idempotent. Further Puts are
+// silently discarded (memory only).
+func (s *DiskStore[A]) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.writeErr
+	}
+	err := s.flushLocked()
+	if cerr := s.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("serve: close segment: %w", cerr)
+		s.writeErr = err
+	}
+	s.closed = true
+	return err
+}
+
+// --- segment codec -------------------------------------------------------
+//
+// File layout:
+//
+//	header  := magic("KBQASEG1") u32(metaLen) meta
+//	record  := u32(payloadLen) u32(crc32-IEEE(payload)) payload
+//	payload := recGen   u64(gen) modelTag
+//	         | recEntry u64(gen) i64(atUnixNano) u8(ok) u32(keyLen) key val
+//
+// All integers little-endian. The CRC covers the payload only; a record
+// whose length or checksum doesn't hold terminates the valid prefix.
+
+func writeSegHeader(w io.Writer, meta string) {
+	io.WriteString(w, segMagic)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(meta)))
+	w.Write(n[:])
+	io.WriteString(w, meta)
+}
+
+// readSegHeader consumes and validates the header, reporting whether the
+// segment belongs to this (magic, meta) lineage.
+func readSegHeader(r io.Reader, meta string) bool {
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != segMagic {
+		return false
+	}
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return false
+	}
+	metaLen := binary.LittleEndian.Uint32(n[:])
+	if metaLen > maxRecordLen || int(metaLen) != len(meta) {
+		return false
+	}
+	got := make([]byte, metaLen)
+	if _, err := io.ReadFull(r, got); err != nil {
+		return false
+	}
+	return string(got) == meta
+}
+
+// writeRecord frames one payload.
+func writeRecord(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readRecord reads one framed payload. io.EOF means a clean end of segment;
+// errBadRecord means a torn or corrupt record (drop the tail).
+func readRecord(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, errBadRecord // torn mid-header
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > maxRecordLen {
+		return nil, errBadRecord
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errBadRecord // torn mid-payload
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, errBadRecord
+	}
+	return payload, nil
+}
+
+func encodeGenPayload(gen uint64, tag string) []byte {
+	p := make([]byte, 0, 9+len(tag))
+	p = append(p, recGen)
+	p = binary.LittleEndian.AppendUint64(p, gen)
+	p = append(p, tag...)
+	return p
+}
+
+func decodeGenPayload(p []byte) (gen uint64, tag string, ok bool) {
+	if len(p) < 9 || p[0] != recGen {
+		return 0, "", false
+	}
+	return binary.LittleEndian.Uint64(p[1:9]), string(p[9:]), true
+}
+
+// encodeEntryPayload renders one cache entry body (value already
+// codec-encoded); decodeEntryPayload inverts it.
+func encodeEntryPayload(key string, val []byte, gen uint64, atUnixNano int64, ok bool) []byte {
+	p := make([]byte, 0, 1+8+8+1+4+len(key)+len(val))
+	p = append(p, recEntry)
+	p = binary.LittleEndian.AppendUint64(p, gen)
+	p = binary.LittleEndian.AppendUint64(p, uint64(atUnixNano))
+	if ok {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
+	}
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(key)))
+	p = append(p, key...)
+	p = append(p, val...)
+	return p
+}
+
+func decodeEntryPayload(p []byte) (key string, val []byte, gen uint64, at time.Time, ok bool, err error) {
+	const fixed = 1 + 8 + 8 + 1 + 4
+	if len(p) < fixed || p[0] != recEntry {
+		return "", nil, 0, time.Time{}, false, errBadRecord
+	}
+	gen = binary.LittleEndian.Uint64(p[1:9])
+	at = time.Unix(0, int64(binary.LittleEndian.Uint64(p[9:17])))
+	ok = p[17] == 1
+	keyLen := binary.LittleEndian.Uint32(p[18:22])
+	if uint64(keyLen) > uint64(len(p)-fixed) {
+		return "", nil, 0, time.Time{}, false, errBadRecord
+	}
+	key = string(p[fixed : fixed+int(keyLen)])
+	val = p[fixed+int(keyLen):]
+	return key, val, gen, at, ok, nil
+}

@@ -1,0 +1,487 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openTestStore(t *testing.T, dir, meta string) *DiskStore[string] {
+	t.Helper()
+	s, err := OpenDiskStore[string](dir, JSONCodec[string]{}, DiskOptions{Meta: meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, "m")
+	at := time.Unix(100, 200)
+	s.Put("k1", Entry[string]{Val: "v1", OK: true, At: at})
+	s.Put("k2", Entry[string]{Val: "", OK: false, At: at}) // negative entry
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTestStore(t, dir, "m")
+	defer r.Close()
+	if n := r.Len(); n != 2 {
+		t.Fatalf("reopened Len = %d, want 2", n)
+	}
+	e, hit := r.Get("k1")
+	if !hit || e.Val != "v1" || !e.OK || !e.Persisted || !e.At.Equal(at) {
+		t.Errorf("k1 = %+v hit=%v, want replayed v1/ok/persisted at %v", e, hit, at)
+	}
+	e, hit = r.Get("k2")
+	if !hit || e.OK || !e.Persisted {
+		t.Errorf("negative entry k2 = %+v hit=%v, want replayed !ok", e, hit)
+	}
+}
+
+func TestDiskStoreLastWriteWinsAndCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, "m")
+	for i := 0; i < 3; i++ {
+		s.Put("k", Entry[string]{Val: string(rune('a' + i)), OK: true})
+	}
+	s.Close()
+	sizeBefore := segSize(t, dir)
+
+	r := openTestStore(t, dir, "m")
+	if e, hit := r.Get("k"); !hit || e.Val != "c" {
+		t.Errorf("k = %+v hit=%v, want last write c", e, hit)
+	}
+	if n := r.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+	r.Close()
+	if sizeAfter := segSize(t, dir); sizeAfter >= sizeBefore {
+		t.Errorf("compaction did not shrink the segment: %d -> %d", sizeBefore, sizeAfter)
+	}
+}
+
+func TestDiskStoreGenerationSurvivesRestartAndDropsDeadEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, "m")
+	s.Put("old", Entry[string]{Val: "stale", OK: true, Gen: 0})
+	s.SetGeneration(3)
+	s.Put("new", Entry[string]{Val: "fresh", OK: true, Gen: 3})
+	s.Close()
+
+	r := openTestStore(t, dir, "m")
+	defer r.Close()
+	if g := r.Generation(); g != 3 {
+		t.Fatalf("Generation = %d, want 3", g)
+	}
+	if _, hit := r.Get("old"); hit {
+		t.Error("dead-generation entry survived compaction")
+	}
+	if e, hit := r.Get("new"); !hit || e.Val != "fresh" || e.Gen != 3 {
+		t.Errorf("live entry = %+v hit=%v", e, hit)
+	}
+}
+
+// TestDiskStoreDropsCorruptTail simulates a crash mid-write: whatever valid
+// prefix exists must replay, the torn or corrupt tail must be dropped, and
+// open must never panic.
+func TestDiskStoreDropsCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, "m")
+	for _, k := range []string{"a", "b", "c"} {
+		s.Put(k, Entry[string]{Val: "v-" + k, OK: true})
+	}
+	s.Close()
+	clean, err := os.ReadFile(filepath.Join(dir, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("garbage appended", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSeg(t, dir, append(append([]byte{}, clean...), "!!garbage!!"...))
+		r := openTestStore(t, dir, "m")
+		defer r.Close()
+		if n := r.Len(); n != 3 {
+			t.Errorf("Len = %d, want all 3 records before the garbage", n)
+		}
+	})
+
+	t.Run("torn tail", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSeg(t, dir, clean[:len(clean)-5]) // cut into the last record
+		r := openTestStore(t, dir, "m")
+		defer r.Close()
+		if n := r.Len(); n != 2 {
+			t.Errorf("Len = %d, want 2 (torn third record dropped)", n)
+		}
+		if _, hit := r.Get("c"); hit {
+			t.Error("torn record served")
+		}
+		if e, hit := r.Get("b"); !hit || e.Val != "v-b" {
+			t.Errorf("record before the tear lost: %+v hit=%v", e, hit)
+		}
+	})
+
+	t.Run("bit flip", func(t *testing.T) {
+		dir := t.TempDir()
+		flipped := append([]byte{}, clean...)
+		flipped[len(flipped)-3] ^= 0xff // corrupt the last record's payload
+		writeSeg(t, dir, flipped)
+		r := openTestStore(t, dir, "m")
+		defer r.Close()
+		if n := r.Len(); n != 2 {
+			t.Errorf("Len = %d, want 2 (checksum-failed record dropped)", n)
+		}
+	})
+
+	t.Run("mangled header", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSeg(t, dir, []byte("not a segment at all"))
+		r := openTestStore(t, dir, "m")
+		defer r.Close()
+		if n := r.Len(); n != 0 {
+			t.Errorf("Len = %d, want 0 for a foreign file", n)
+		}
+	})
+}
+
+// TestDiskStoreMetaMismatch: a segment written under one lineage must not
+// replay into a system with another.
+func TestDiskStoreMetaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, "flavor-a")
+	s.SetGeneration(7)
+	s.Put("k", Entry[string]{Val: "v", OK: true, Gen: 7})
+	s.Close()
+
+	r := openTestStore(t, dir, "flavor-b")
+	if n := r.Len(); n != 0 {
+		t.Errorf("foreign segment replayed %d entries", n)
+	}
+	if g := r.Generation(); g != 0 {
+		t.Errorf("foreign generation adopted: %d", g)
+	}
+	r.Put("k2", Entry[string]{Val: "v2", OK: true})
+	r.Close()
+
+	// The discard is durable: the compacted segment now carries lineage b.
+	r2 := openTestStore(t, dir, "flavor-b")
+	defer r2.Close()
+	if e, hit := r2.Get("k2"); !hit || e.Val != "v2" {
+		t.Errorf("rewritten segment lost its entry: %+v hit=%v", e, hit)
+	}
+}
+
+// TestDiskStoreModelTagMismatchInvalidates: entries persisted under one
+// model tag must not be served by a process whose model carries another —
+// the generation advances past them instead.
+func TestDiskStoreModelTagMismatchInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore[string](dir, JSONCodec[string]{}, DiskOptions{Meta: "w", ModelTag: "model-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", Entry[string]{Val: "a's answer", OK: true, Gen: 0})
+	s.Close()
+
+	// Same world, different model: the cache is refused, durably.
+	r, err := OpenDiskStore[string](dir, JSONCodec[string]{}, DiskOptions{Meta: "w", ModelTag: "model-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Len(); n != 0 {
+		t.Errorf("foreign model's entries replayed: %d", n)
+	}
+	if g := r.Generation(); g != 1 {
+		t.Errorf("generation = %d, want 1 (advanced past the foreign entries)", g)
+	}
+	r.Put("k", Entry[string]{Val: "b's answer", OK: true, Gen: 1})
+	r.Close()
+
+	// Reopening under model-b again is a clean match.
+	r2, err := OpenDiskStore[string](dir, JSONCodec[string]{}, DiskOptions{Meta: "w", ModelTag: "model-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if g := r2.Generation(); g != 1 {
+		t.Errorf("matching reopen generation = %d, want 1", g)
+	}
+	if e, hit := r2.Get("k"); !hit || e.Val != "b's answer" {
+		t.Errorf("matching reopen lost the entry: %+v hit=%v", e, hit)
+	}
+}
+
+// TestDiskStoreRetrainedTagSurvivesRestart: SetModelTag + SetGeneration
+// bind the new generation to the new model; a restart under that model
+// replays, a restart under the old one refuses.
+func TestDiskStoreRetrainedTagSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore[string](dir, JSONCodec[string]{}, DiskOptions{Meta: "w", ModelTag: "m0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", Entry[string]{Val: "v0", OK: true, Gen: 0})
+	s.SetModelTag("m1") // the retrain hook's order: tag, then bump
+	s.SetGeneration(1)
+	s.Put("k1", Entry[string]{Val: "v1", OK: true, Gen: 1})
+	s.Close()
+
+	// Boot running the retrained model: gen-1 entries replay.
+	r, err := OpenDiskStore[string](dir, JSONCodec[string]{}, DiskOptions{Meta: "w", ModelTag: "m1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := r.Generation(); g != 1 {
+		t.Fatalf("generation = %d, want 1", g)
+	}
+	if e, hit := r.Get("k1"); !hit || e.Val != "v1" {
+		t.Errorf("retrained model's entry lost: %+v hit=%v", e, hit)
+	}
+	r.Close()
+
+	// Boot running the seed model again: the retrained answers are refused.
+	r2, err := OpenDiskStore[string](dir, JSONCodec[string]{}, DiskOptions{Meta: "w", ModelTag: "m0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if n := r2.Len(); n != 0 {
+		t.Errorf("seed-model boot replayed %d retrained entries", n)
+	}
+	if g := r2.Generation(); g != 2 {
+		t.Errorf("generation = %d, want 2", g)
+	}
+}
+
+// pickyCodec fails to encode one specific value, standing in for answers
+// JSON cannot represent (NaN scores and the like).
+type pickyCodec struct{}
+
+func (pickyCodec) Encode(s string) ([]byte, error) {
+	if s == "poison" {
+		return nil, errBadRecord
+	}
+	return []byte(s), nil
+}
+func (pickyCodec) Decode(b []byte) (string, error) { return string(b), nil }
+
+// TestDiskStoreEncodeFailureIsPerEntry: one unencodable answer must cost
+// that answer its restart survival — nothing more. Persistence continues
+// for every other entry and Flush stays clean.
+func TestDiskStoreEncodeFailureIsPerEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore[string](dir, pickyCodec{}, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", Entry[string]{Val: "fine", OK: true})
+	s.Put("bad", Entry[string]{Val: "poison", OK: true})
+	s.Put("b", Entry[string]{Val: "also fine", OK: true})
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush after a codec failure = %v, want nil (per-entry, not sticky)", err)
+	}
+	// The unencodable entry still serves from memory in this process.
+	if e, hit := s.Get("bad"); !hit || e.Val != "poison" {
+		t.Errorf("unencodable entry lost from memory: %+v hit=%v", e, hit)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenDiskStore[string](dir, pickyCodec{}, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, k := range []string{"a", "b"} {
+		if _, hit := r.Get(k); !hit {
+			t.Errorf("entry %q written after the codec failure was lost", k)
+		}
+	}
+	if _, hit := r.Get("bad"); hit {
+		t.Error("unencodable entry reappeared from disk")
+	}
+}
+
+// TestDiskStoreSetGenerationNeverRegresses: when racing retrain hooks
+// deliver bumps out of order, the stale one must not win — a regressed
+// counter would let the next compaction rewrite the segment around
+// already-invalidated entries.
+func TestDiskStoreSetGenerationNeverRegresses(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, "m")
+	s.SetGeneration(6)
+	s.SetGeneration(5) // the slower hook of an older retrain
+	if g := s.Generation(); g != 6 {
+		t.Fatalf("Generation = %d, want 6 (monotonic)", g)
+	}
+	s.Put("k", Entry[string]{Val: "v", OK: true, Gen: 6})
+	s.Close()
+
+	r := openTestStore(t, dir, "m")
+	defer r.Close()
+	if g := r.Generation(); g != 6 {
+		t.Fatalf("reopened Generation = %d, want 6", g)
+	}
+	if _, hit := r.Get("k"); !hit {
+		t.Error("current-generation entry lost to a stale gen record")
+	}
+}
+
+// TestDiskStoreOnlineCompactionBoundsSegment: churning one key must not
+// grow the segment without bound — the online compaction rewrites it from
+// the resident set once enough bytes accumulate.
+func TestDiskStoreOnlineCompactionBoundsSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore[string](dir, JSONCodec[string]{}, DiskOptions{CompactEvery: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := strings.Repeat("x", 100)
+	for i := 0; i < 1000; i++ {
+		s.Put("hot key", Entry[string]{Val: val, OK: true})
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// ~1000 × ~140B of appends; without online compaction the segment
+	// would be ~140KB. With it, at most one compaction budget plus slack.
+	if size := segSize(t, dir); size > 3*4096 {
+		t.Errorf("segment = %dB after churn, want bounded by the compaction budget", size)
+	}
+	s.Close()
+
+	r := openTestStore(t, dir, "")
+	defer r.Close()
+	if e, hit := r.Get("hot key"); !hit || e.Val != val {
+		t.Errorf("churned key lost across compactions: hit=%v", hit)
+	}
+	if n := r.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+}
+
+// TestRuntimeCloseFlushesInFlightWrite is the drain-on-close contract:
+// Close must wait out a singleflight computation already in flight and
+// flush its cache write to disk — an answer computed during shutdown is
+// never lost.
+func TestRuntimeCloseFlushesInFlightWrite(t *testing.T) {
+	dir := t.TempDir()
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	r := NewWithStore(func(_ context.Context, q string) (string, StageTimings, bool, error) {
+		close(entered)
+		<-gate
+		return "slow answer", StageTimings{}, true, nil
+	}, Options{}, openTestStore(t, dir, "m"))
+
+	askDone := make(chan error, 1)
+	go func() {
+		_, _, err := r.Ask(context.Background(), "q")
+		askDone <- err
+	}()
+	<-entered // the engine is computing
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- r.Close() }()
+	select {
+	case err := <-closeDone:
+		t.Fatalf("Close returned before the in-flight computation drained (err=%v)", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	close(gate)
+	if err := <-askDone; err != nil {
+		t.Fatalf("in-flight Ask during Close failed: %v", err)
+	}
+	if err := <-closeDone; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A new "process" over the same directory serves the drained answer
+	// without an engine call.
+	r2 := NewWithStore(func(_ context.Context, q string) (string, StageTimings, bool, error) {
+		t.Errorf("engine probed for an answer that should be on disk: %q", q)
+		return "", StageTimings{}, false, nil
+	}, Options{}, openTestStore(t, dir, "m"))
+	defer r2.Close()
+	ans, ok, err := r2.Ask(context.Background(), "q")
+	if err != nil || !ok || ans != "slow answer" {
+		t.Fatalf("restarted runtime = (%q, %v, %v), want the drained answer", ans, ok, err)
+	}
+	if m := r2.Metrics(); m.CachePersistHits != 1 {
+		t.Errorf("persist hits = %d, want 1", m.CachePersistHits)
+	}
+}
+
+// FuzzSegmentRoundTrip fuzzes the segment codec: every entry must encode →
+// frame → unframe → decode to exactly itself, and no truncation or
+// corruption of the framed bytes may ever panic the reader.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add("what is the p of e?", []byte(`"answer"`), uint64(3), int64(123456789), true)
+	f.Add("", []byte{}, uint64(0), int64(-1), false)
+	f.Add("k\x1ffp", []byte{0xff, 0x00}, ^uint64(0), int64(1<<62), true)
+	f.Fuzz(func(t *testing.T, key string, val []byte, gen uint64, at int64, ok bool) {
+		payload := encodeEntryPayload(key, val, gen, at, ok)
+
+		key2, val2, gen2, at2, ok2, err := decodeEntryPayload(payload)
+		if err != nil {
+			t.Fatalf("decode of a fresh encode failed: %v", err)
+		}
+		if key2 != key || !bytes.Equal(val2, val) || gen2 != gen || at2.UnixNano() != at || ok2 != ok {
+			t.Fatalf("round trip mismatch: (%q,%x,%d,%d,%v) != (%q,%x,%d,%d,%v)",
+				key2, val2, gen2, at2.UnixNano(), ok2, key, val, gen, at, ok)
+		}
+
+		// Framed: write, read back, decode again.
+		var buf bytes.Buffer
+		if err := writeRecord(&buf, payload); err != nil {
+			t.Fatal(err)
+		}
+		framed := buf.Bytes()
+		got, err := readRecord(bytes.NewReader(framed))
+		if err != nil {
+			t.Fatalf("readRecord of a fresh writeRecord failed: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("framing corrupted the payload")
+		}
+
+		// Any truncation must fail cleanly, never panic.
+		for cut := 0; cut < len(framed); cut++ {
+			if p, err := readRecord(bytes.NewReader(framed[:cut])); err == nil {
+				t.Fatalf("truncated record at %d/%d decoded: %x", cut, len(framed), p)
+			}
+		}
+		// Arbitrary decode input must fail cleanly too.
+		if len(payload) > 0 {
+			decodeEntryPayload(payload[:len(payload)-1])
+			mutated := append([]byte{}, payload...)
+			mutated[len(mutated)/2] ^= 0x5a
+			decodeEntryPayload(mutated)
+		}
+	})
+}
+
+func segSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func writeSeg(t *testing.T, dir string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, segName), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

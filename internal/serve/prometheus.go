@@ -34,10 +34,14 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("requests_total", "Requests that reached the cache/engine path.", s.Served)
 	counter("cache_hits_total", "Requests answered straight from the answer cache.", s.CacheHits)
 	counter("cache_misses_total", "Requests that had to consult the flight group or engine.", s.CacheMisses)
+	counter("cache_persist_hits_total", "Cache hits served by entries replayed from the persistent store (answers surviving a restart).", s.CachePersistHits)
+	counter("cache_persist_dropped_total", "Entries kept memory-only by the persistent store (unencodable or oversized); they will not survive a restart.", s.CachePersistDropped)
 	counter("cache_evictions_total", "Answers displaced from the cache by capacity pressure.", s.CacheEvictions)
 	gauge("cache_entries", "Resident answer-cache entries.", int64(s.CacheEntries))
+	gauge("cache_generation", "Model generation keying new cache entries; bumps on Learn/LoadModel.", int64(s.Generation))
 	counter("deduped_total", "Cache misses resolved by joining an in-flight leader.", s.Deduped)
 	counter("rejected_total", "Requests that failed on a non-panic serving error (admission/flight deadline, or engine aborted by context).", s.Rejected)
+	counter("ratelimit_rejected_total", "Requests refused by the per-client rate limiter before entering the serving pipeline.", s.RateLimitRejected)
 	counter("engine_panics_total", "Requests that surfaced a contained engine panic.", s.EnginePanics)
 	gauge("in_flight", "Requests currently executing.", s.InFlight)
 

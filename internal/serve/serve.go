@@ -4,19 +4,27 @@
 // online answering phase (Sec 1); this package is what makes the online
 // phase survive heavy concurrent traffic without touching the engine:
 //
-//   - a sharded LRU answer cache keyed by (normalized question, options
-//     fingerprint), with hit/miss/eviction counters;
+//   - a generation-keyed answer cache behind the Store interface: the
+//     default in-memory sharded LRU, or the disk-backed append-only
+//     segment store (OpenDiskStore) whose entries survive restarts. Every
+//     entry is keyed by (model generation, normalized question, options
+//     fingerprint); retraining bumps the generation, making every stale
+//     entry unreachable without a stop-the-world flush;
+//   - TTL expiry (Options.TTL) and boot-time warming (WarmFromCorpus);
 //   - singleflight deduplication, so a thundering herd of identical
 //     questions costs one engine call;
 //   - admission control bounding concurrent engine calls, plus
 //     per-request deadlines that are handed to the engine itself (the
 //     context reaches the probe loops, so an expired request stops
 //     working instead of leaking a goroutine's worth of scan);
+//   - a per-client token-bucket rate limiter (Limiter) for quota
+//     enforcement in front of admission control;
 //   - a bounded-worker batch executor that fans a question slice across
 //     goroutines while preserving input order;
 //   - a metrics pipeline (per-stage latency histograms, cache hit rate,
-//     in-flight gauge, labelled error-code counters) snapshotted as JSON
-//     or rendered in Prometheus text exposition format.
+//     persist-hit and rate-limit counters, in-flight gauge, labelled
+//     error-code counters) snapshotted as JSON or rendered in Prometheus
+//     text exposition format.
 //
 // The runtime is generic over the answer type so it layers over
 // kbqa.System without an import cycle, and over any Query-shaped engine.
@@ -26,8 +34,10 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -78,11 +88,15 @@ func ErrorCode(err error) string {
 // Options tunes the runtime; the zero value is production-sensible.
 type Options struct {
 	// CacheShards is the number of independently locked cache shards
-	// (default 16).
+	// (default 16). Ignored when Store is set.
 	CacheShards int
 	// CacheEntries is the total cache capacity in answers. 0 means the
-	// default (4096); negative disables caching entirely.
+	// default (4096); negative disables caching entirely. Ignored when
+	// the runtime is built over an explicit store (NewWithStore).
 	CacheEntries int
+	// TTL bounds an entry's lifetime: entries older than TTL are treated
+	// as misses and recomputed in place. 0 means no expiry.
+	TTL time.Duration
 	// MaxConcurrent bounds concurrent engine calls (admission control).
 	// 0 means 4×GOMAXPROCS; negative means unbounded. Excess callers
 	// queue until a slot frees or their deadline expires.
@@ -102,25 +116,54 @@ type Options struct {
 type Runtime[A any] struct {
 	ask       AskFunc[A]
 	opts      Options
-	cache     *answerCache[A] // nil when caching is disabled
+	cache     Store[A] // nil when caching is disabled
+	gen       atomic.Uint64
 	flight    flightGroup[A]
 	sem       chan struct{} // nil when unbounded
 	metrics   metrics
-	closed    chan struct{}
-	closeOnce sync.Once
 	normalize func(string) string
+
+	// closeMu guards isClosed so wg.Add never races wg.Wait: a request
+	// registers with the drain group only while holding the read lock and
+	// the runtime is open, and Close flips isClosed under the write lock —
+	// so every registration either completes before Close observes the
+	// flag set or sees it and fails fast. Requests share the read lock, so
+	// the hot path stays parallel.
+	closeMu   sync.RWMutex
+	isClosed  bool
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// New builds a runtime around ask.
+// New builds a runtime around ask with the built-in in-memory answer
+// cache; NewWithStore swaps in a caller-supplied store.
 func New[A any](ask AskFunc[A], o Options) *Runtime[A] {
-	r := &Runtime[A]{ask: ask, closed: make(chan struct{})}
+	return NewWithStore[A](ask, o, nil)
+}
+
+// NewWithStore builds a runtime whose answer cache is the given store —
+// typically a disk-backed one from OpenDiskStore, which makes cached
+// answers survive restarts. The runtime owns the store from here: Close
+// drains in-flight requests, then flushes and closes it. If the store also
+// implements GenerationStore, the runtime adopts its persisted generation,
+// so entries invalidated by a pre-restart retrain stay unreachable. A nil
+// store falls back to Options.CacheShards/CacheEntries.
+func NewWithStore[A any](ask AskFunc[A], o Options, store Store[A]) *Runtime[A] {
+	r := &Runtime[A]{ask: ask}
 	if o.CacheShards <= 0 {
 		o.CacheShards = 16
 	}
 	if o.CacheEntries == 0 {
 		o.CacheEntries = 4096
 	}
-	if o.CacheEntries > 0 {
+	switch {
+	case store != nil:
+		r.cache = store
+		if gs, ok := store.(GenerationStore); ok {
+			r.gen.Store(gs.Generation())
+		}
+	case o.CacheEntries > 0:
 		r.cache = newAnswerCache[A](o.CacheShards, o.CacheEntries)
 	}
 	if o.MaxConcurrent == 0 {
@@ -144,8 +187,57 @@ func defaultNormalize(q string) string {
 }
 
 // fingerprintSep joins the normalized question and the options fingerprint
-// in the cache key; an information separator no normalizer emits.
-const fingerprintSep = "\x1f"
+// in the cache key; genSep terminates the generation prefix. Both are
+// information separators no normalizer emits.
+const (
+	fingerprintSep = "\x1f"
+	genSep         = "\x1e"
+)
+
+// cacheKey assembles the full cache/deduplication key. The generation
+// prefix is what makes retrain invalidation free: bumping the generation
+// changes every key, so stale entries are simply never looked up again.
+func cacheKey(gen uint64, normalized, fingerprint string) string {
+	key := "g" + strconv.FormatUint(gen, 10) + genSep + normalized
+	if fingerprint != "" {
+		key += fingerprintSep + fingerprint
+	}
+	return key
+}
+
+// Generation returns the model generation keying new cache entries.
+func (r *Runtime[A]) Generation() uint64 { return r.gen.Load() }
+
+// BumpGeneration advances the model generation, atomically making every
+// cache entry of earlier generations unreachable (no flush, no lock over
+// the shards). Call it after the new model is visible to the engine — then
+// any request keyed with the new generation is guaranteed to compute
+// against the new model or a newer one. Persistent stores record the bump
+// durably, so invalidation survives restarts too.
+func (r *Runtime[A]) BumpGeneration() uint64 {
+	g := r.gen.Add(1)
+	if gs, ok := r.cache.(GenerationStore); ok {
+		gs.SetGeneration(g)
+	}
+	return g
+}
+
+// begin registers a request with the drain group; false means the runtime
+// is shutting down.
+func (r *Runtime[A]) begin() bool {
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
+	if r.isClosed {
+		return false
+	}
+	r.wg.Add(1)
+	return true
+}
+
+// fresh reports whether a resident entry is inside its TTL.
+func (r *Runtime[A]) fresh(e Entry[A]) bool {
+	return r.opts.TTL <= 0 || time.Since(e.At) <= r.opts.TTL
+}
 
 // Ask answers one question with the runtime's fixed engine function and an
 // empty fingerprint; see Do.
@@ -154,10 +246,11 @@ func (r *Runtime[A]) Ask(ctx context.Context, question string) (A, bool, error) 
 }
 
 // Do answers one question through the cache → singleflight → admission →
-// engine pipeline, keyed by (normalized question, fingerprint). compute,
-// when non-nil, replaces the runtime's engine function for this call —
-// the hook for per-request options, which MUST be encoded into fingerprint
-// so differently-optioned results never share a cache entry or a flight.
+// engine pipeline, keyed by (generation, normalized question, fingerprint).
+// compute, when non-nil, replaces the runtime's engine function for this
+// call — the hook for per-request options, which MUST be encoded into
+// fingerprint so differently-optioned results never share a cache entry or
+// a flight.
 //
 // ok mirrors the engine's "has an answer" flag; err is non-nil for
 // serving-layer failures (deadline exceeded while queued or waiting,
@@ -168,13 +261,12 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 	if compute == nil {
 		compute = r.ask
 	}
-	select {
-	case <-r.closed:
+	if !r.begin() {
 		r.metrics.countError(CodeShuttingDown)
 		var zero A
 		return zero, false, ErrShuttingDown
-	default:
 	}
+	defer r.wg.Done()
 	r.metrics.inFlight.Add(1)
 	start := time.Now()
 	defer func() {
@@ -185,15 +277,20 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 		}
 	}()
 
-	key := r.normalize(question)
-	if fingerprint != "" {
-		key += fingerprintSep + fingerprint
-	}
+	// The generation is read once per request: a retrain completing
+	// mid-request doesn't retarget work already underway (it started
+	// before the retrain finished), but every request beginning after the
+	// bump uses the new keyspace.
+	gen := r.gen.Load()
+	key := cacheKey(gen, r.normalize(question), fingerprint)
 	r.metrics.served.Add(1)
 	if r.cache != nil {
-		if val, okAns, hit := r.cache.get(key); hit {
+		if e, hit := r.cache.Get(key); hit && r.fresh(e) {
 			r.metrics.hits.Add(1)
-			return val, okAns, nil
+			if e.Persisted {
+				r.metrics.persistHits.Add(1)
+			}
+			return e.Val, e.OK, nil
 		}
 	}
 	r.metrics.misses.Add(1)
@@ -213,8 +310,8 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 			// A flight for this key may have completed between the miss
 			// and this leader starting; don't redo resident work.
 			if r.cache != nil {
-				if val, okAns, hit := r.cache.get(key); hit {
-					return val, okAns, nil
+				if e, hit := r.cache.Get(key); hit && r.fresh(e) {
+					return e.Val, e.OK, nil
 				}
 			}
 			release, err := r.admit(ctx)
@@ -237,7 +334,7 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 			}
 			r.metrics.observeStages(tm)
 			if r.cache != nil {
-				r.cache.put(key, a, okAns)
+				r.cache.Put(key, Entry[A]{Val: a, OK: okAns, Gen: gen, At: time.Now()})
 			}
 			return a, okAns, nil
 		})
@@ -254,8 +351,8 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 				// another engine call for a resident answer. The request
 				// stays accounted as its original miss.
 				if r.cache != nil {
-					if val, okAns, hit := r.cache.get(key); hit {
-						return val, okAns, nil
+					if e, hit := r.cache.Get(key); hit && r.fresh(e) {
+						return e.Val, e.OK, nil
 					}
 				}
 				continue
@@ -275,6 +372,37 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 	}
 }
 
+// CacheEnabled reports whether the runtime holds an answer store at all
+// (false with Options.CacheEntries < 0 and no explicit store).
+func (r *Runtime[A]) CacheEnabled() bool { return r.cache != nil }
+
+// WarmFromCorpus primes the answer cache at boot by pushing qs through the
+// full serving pipeline over the batch worker pool; questions already
+// resident (for example replayed from a disk store) cost nothing. It
+// reports how many of qs ended resident — positive and negative answers
+// both warm the cache; context and infrastructure failures don't. With
+// caching disabled there is nothing to warm: the engine is not touched
+// and 0 is returned.
+func (r *Runtime[A]) WarmFromCorpus(ctx context.Context, qs []string) int {
+	return r.Warm(ctx, qs, "", nil)
+}
+
+// Warm is WarmFromCorpus with a per-call options fingerprint and compute
+// override, mirroring Do — the form layers with per-request options (like
+// kbqa.Server) warm through so primed entries share keys with real
+// traffic.
+func (r *Runtime[A]) Warm(ctx context.Context, qs []string, fingerprint string, compute AskFunc[A]) (warmed int) {
+	if r.cache == nil {
+		return 0
+	}
+	for _, it := range r.DoBatch(ctx, qs, fingerprint, compute) {
+		if it.Err == nil {
+			warmed++
+		}
+	}
+	return warmed
+}
+
 // CountError bumps the labelled error-code counter surfaced in Snapshot
 // and the Prometheus exposition. The runtime records its own serving-layer
 // codes; layers above record their domain codes (e.g. the typed
@@ -283,6 +411,14 @@ func (r *Runtime[A]) CountError(code string) {
 	if code != "" {
 		r.metrics.countError(code)
 	}
+}
+
+// CountRateLimited bumps the kbqa_ratelimit_rejected_total counter; the
+// rate-limiting layer (Limiter sits in front of the runtime, where the
+// client identity lives) records its rejections here so they surface in
+// the same snapshot as everything else.
+func (r *Runtime[A]) CountRateLimited() {
+	r.metrics.rlRejected.Add(1)
 }
 
 // admit takes an engine slot, blocking until one frees or ctx expires.
@@ -307,15 +443,42 @@ func (r *Runtime[A]) admit(ctx context.Context) (release func(), err error) {
 // latency histograms.
 func (r *Runtime[A]) Metrics() Snapshot {
 	s := r.metrics.snapshot()
+	s.Generation = r.gen.Load()
 	if r.cache != nil {
-		s.CacheEvictions = r.cache.evictions.Load()
-		s.CacheEntries = r.cache.len()
+		s.CacheEvictions = r.cache.Evictions()
+		s.CacheEntries = r.cache.Len()
+		if d, ok := r.cache.(interface{ EncodeDrops() uint64 }); ok {
+			s.CachePersistDropped = d.EncodeDrops()
+		}
 	}
 	return s
 }
 
-// Close marks the runtime as shutting down; subsequent Ask calls fail fast
-// with ErrShuttingDown. In-flight requests are unaffected.
-func (r *Runtime[A]) Close() {
-	r.closeOnce.Do(func() { close(r.closed) })
+// Flush forces buffered persistent writes down to durable storage without
+// closing the runtime; a no-op for memory-only runtimes.
+func (r *Runtime[A]) Flush() error {
+	if r.cache == nil {
+		return nil
+	}
+	return r.cache.Flush()
+}
+
+// Close puts the runtime into shutdown: requests arriving after Close fail
+// fast with ErrShuttingDown, while requests already in flight — including
+// singleflight computations — drain to completion. Once drained, buffered
+// persistent writes are flushed and the store is closed, so an answer
+// computed by an in-flight request is never lost to the shutdown race.
+// Close is idempotent and returns the store's flush/close error (always
+// nil for memory-only runtimes).
+func (r *Runtime[A]) Close() error {
+	r.closeOnce.Do(func() {
+		r.closeMu.Lock()
+		r.isClosed = true
+		r.closeMu.Unlock()
+		r.wg.Wait()
+		if r.cache != nil {
+			r.closeErr = r.cache.Close()
+		}
+	})
+	return r.closeErr
 }

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Entry is one resident answer together with the metadata the persistence
+// and expiry machinery needs: the model generation that computed it (stale
+// generations become unreachable when the runtime's generation is bumped),
+// the computation time (the TTL anchor), and whether the entry was replayed
+// from disk rather than computed by this process (the persist-hit counter).
+type Entry[A any] struct {
+	Val A
+	OK  bool
+	// Gen is the model generation the answer was computed under. The
+	// runtime also encodes it into the cache key, so the field exists for
+	// stores that compact (a persistent store drops entries of dead
+	// generations without parsing keys).
+	Gen uint64
+	// At is when the answer was computed; the runtime treats entries older
+	// than Options.TTL as misses.
+	At time.Time
+	// Persisted marks entries replayed from durable storage at open.
+	Persisted bool
+}
+
+// Store is the answer-residency contract of the runtime: the in-memory
+// sharded LRU (the default) and the disk-backed segment store (OpenDiskStore)
+// both implement it. Implementations must be safe for concurrent use. Get
+// reports pure residency — TTL filtering is the runtime's job, so one store
+// can serve runtimes with different expiry policies.
+type Store[A any] interface {
+	Get(key string) (Entry[A], bool)
+	Put(key string, e Entry[A])
+	// Len reports resident entries; Evictions counts entries displaced by
+	// capacity pressure.
+	Len() int
+	Evictions() uint64
+	// Flush forces buffered writes down to durable storage; a no-op for
+	// memory-only stores.
+	Flush() error
+	// Close flushes and releases the store. Further Puts are discarded.
+	Close() error
+}
+
+// GenerationStore is implemented by stores that persist the model
+// generation across restarts. The runtime adopts the store's generation at
+// construction — a rebooted server keeps counting where the dead process
+// stopped, so entries invalidated by a pre-restart Learn stay unreachable —
+// and notifies the store on every bump.
+type GenerationStore interface {
+	Generation() uint64
+	SetGeneration(gen uint64)
+}
+
+// Codec serializes answers for durable stores. Encode/Decode must
+// round-trip: Decode(Encode(a)) observably equals a.
+type Codec[A any] interface {
+	Encode(a A) ([]byte, error)
+	Decode(b []byte) (A, error)
+}
+
+// JSONCodec is the default Codec, encoding answers with encoding/json.
+type JSONCodec[A any] struct{}
+
+func (JSONCodec[A]) Encode(a A) ([]byte, error) { return json.Marshal(a) }
+
+func (JSONCodec[A]) Decode(b []byte) (A, error) {
+	var a A
+	err := json.Unmarshal(b, &a)
+	return a, err
+}

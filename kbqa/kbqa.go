@@ -35,6 +35,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -162,8 +163,18 @@ type VariantAnswer struct {
 // swaps are atomic behind a read-write lock, and in-flight queries finish
 // against the engine they started with.
 type System struct {
-	mu    sync.RWMutex // guards the world's Model/Stats/Engine swaps
+	mu    sync.RWMutex // guards the world's Model/Stats/Engine swaps and retrain
 	world *eval.World
+	// retrain holds invalidation hooks run after every model swap, keyed
+	// for deregistration; a Server registers one to bump its cache
+	// generation, so answers computed by the old model become unreachable
+	// the moment Learn/LoadModel returns, and removes it on Close.
+	retrain    map[uint64]func()
+	nextHookID uint64
+	// retrainEpoch counts completed model swaps; Server uses it to close
+	// the construction race between adopting a persisted generation and
+	// registering its hook.
+	retrainEpoch atomic.Uint64
 }
 
 // Build synthesizes a world and runs the complete offline procedure.
@@ -181,6 +192,44 @@ func (s *System) engine() *core.Engine {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.world.Engine
+}
+
+// onRetrain registers fn to run after every model swap (Learn, LoadModel)
+// and returns its deregistration, which the owner must call when it stops
+// caring (Server.Close does) so dead hooks don't accumulate on a
+// long-lived system.
+func (s *System) onRetrain(fn func()) (remove func()) {
+	s.mu.Lock()
+	if s.retrain == nil {
+		s.retrain = make(map[uint64]func())
+	}
+	id := s.nextHookID
+	s.nextHookID++
+	s.retrain[id] = fn
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.retrain, id)
+		s.mu.Unlock()
+	}
+}
+
+// notifyRetrain advances the retrain epoch and runs the registered
+// invalidation hooks. It is called after the engine swap is visible, so a
+// hook that bumps a cache generation guarantees every request keyed with
+// the new generation computes against the new model (or a newer one) —
+// never the old.
+func (s *System) notifyRetrain() {
+	s.retrainEpoch.Add(1)
+	s.mu.RLock()
+	hooks := make([]func(), 0, len(s.retrain))
+	for _, fn := range s.retrain {
+		hooks = append(hooks, fn)
+	}
+	s.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // Ask answers a question (BFQ or complex). ok is false when the system has
@@ -219,9 +268,10 @@ type QA = learn.QA
 // it to train on your own data instead of the synthetic corpus. Learn is
 // safe to call while the system is answering: the heavy learning runs
 // outside the lock and the model/engine swap is atomic, with concurrent
-// queries finishing against whichever engine they started with. (A Server
-// keeps serving cached answers computed by the old model until its cache
-// turns over.)
+// queries finishing against whichever engine they started with. Servers
+// built from this system invalidate their answer caches the moment Learn
+// returns — the model generation keying cache entries is bumped after the
+// swap, so no later query is served an answer the old model computed.
 func (s *System) Learn(pairs []QA) {
 	learner := s.world.Learner()
 	model := learner.Learn(pairs)
@@ -239,6 +289,7 @@ func (s *System) Learn(pairs []QA) {
 	s.world.Stats = stats
 	s.world.Engine = engine
 	s.mu.Unlock()
+	s.notifyRetrain()
 }
 
 // TrainingCorpus returns the synthetic QA corpus the system was built with,
@@ -261,7 +312,8 @@ func (s *System) SaveModel(w io.Writer) error {
 
 // LoadModel replaces the learned model with one written by SaveModel and
 // rewires the online engine; like Learn, the swap is atomic under
-// concurrent queries.
+// concurrent queries and attached Servers invalidate their caches before
+// LoadModel returns.
 func (s *System) LoadModel(r io.Reader) error {
 	m, err := learn.LoadModel(r)
 	if err != nil {
@@ -271,6 +323,7 @@ func (s *System) LoadModel(r io.Reader) error {
 	s.world.Model = m
 	s.world.Engine = core.NewEngine(s.world.KB.Store, s.world.KB.Taxonomy, m, s.world.Stats)
 	s.mu.Unlock()
+	s.notifyRetrain()
 	return nil
 }
 

@@ -2,7 +2,10 @@ package kbqa
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -22,7 +25,8 @@ var (
 
 // ServerOptions tunes a System.Server runtime; the zero value is
 // production-sensible (16 cache shards × 4096 total entries, admission
-// bounded at 4×GOMAXPROCS, no default deadline).
+// bounded at 4×GOMAXPROCS, no default deadline, memory-only cache, no
+// expiry, no rate limit).
 type ServerOptions struct {
 	// CacheShards is the number of independently locked answer-cache
 	// shards (default 16).
@@ -30,6 +34,18 @@ type ServerOptions struct {
 	// CacheEntries is the total answer-cache capacity. 0 means the
 	// default (4096); negative disables caching.
 	CacheEntries int
+	// CacheDir enables the persistent answer cache: answers and the model
+	// generation are appended to a checksummed segment file under the
+	// directory and replayed on the next boot, so a restarted server
+	// answers its hot set from disk without re-probing the engine. The
+	// directory is bound to the system that wrote it (flavor, sizes):
+	// opening it under a different system discards the segment instead of
+	// serving a foreign model's answers. Entries invalidated by
+	// Learn/LoadModel before a restart stay invalidated after it.
+	CacheDir string
+	// CacheTTL expires cache entries: an entry older than CacheTTL is
+	// recomputed on next access. 0 means no expiry.
+	CacheTTL time.Duration
 	// MaxConcurrent bounds concurrent engine calls. 0 means
 	// 4×GOMAXPROCS; negative means unbounded.
 	MaxConcurrent int
@@ -39,43 +55,123 @@ type ServerOptions struct {
 	// context has none (0 = none). The deadline is handed to the engine,
 	// so expiry stops the probe loops instead of leaking the work.
 	Timeout time.Duration
+	// RateLimit caps each client's sustained request rate in
+	// requests/second, enforced by Server.Allow in front of admission
+	// control; 0 disables rate limiting. Rejections are counted in
+	// kbqa_ratelimit_rejected_total.
+	RateLimit float64
+	// RateBurst is the per-client burst allowance (default ⌈RateLimit⌉,
+	// minimum 1).
+	RateBurst int
 }
 
 // served is the cached unit of the serving runtime: either a successful
 // Result or the stable code of a typed unanswerable failure. Caching the
 // code (negative caching) protects the engine from repeated unanswerable
 // questions just as a resident answer protects it from popular ones;
-// context and infrastructure errors are never cached.
+// context and infrastructure errors are never cached. The fields are
+// exported (with JSON tags) because the persistent cache serializes served
+// values through serve.JSONCodec.
 type served struct {
-	res  *Result
-	code string
+	Res  *Result `json:"res,omitempty"`
+	Code string  `json:"code,omitempty"`
 }
 
-// Server is the production serving runtime around a System: a sharded LRU
-// answer cache keyed by (normalized question, options fingerprint) with
-// singleflight deduplication, admission control, an order-preserving batch
-// executor, and a self-instrumented metrics pipeline. It implements
-// Answerer; cmd/kbqa-server is a thin HTTP shell over it.
+// Server is the production serving runtime around a System: a
+// generation-keyed answer cache (sharded LRU, optionally disk-backed so
+// answers survive restarts) with singleflight deduplication, admission
+// control, a per-client rate limiter, an order-preserving batch executor,
+// and a self-instrumented metrics pipeline. It implements Answerer;
+// cmd/kbqa-server is a thin HTTP shell over it.
 type Server struct {
-	sys *System
-	rt  *serve.Runtime[served]
+	sys     *System
+	rt      *serve.Runtime[served]
+	ds      *serve.DiskStore[served] // nil without CacheDir
+	limiter *serve.Limiter
+	unhook  func() // deregisters the retrain hook; called by Close
 }
 
 // Server wraps the system in a serving runtime. The system may be
-// retrained (Learn, LoadModel) while serving — queries in flight finish on
-// the engine they started with — but cached answers computed by the old
-// model are served until their entries turn over.
-func (s *System) Server(o ServerOptions) *Server {
+// retrained (Learn, LoadModel) while serving: queries in flight finish on
+// the engine they started with, and the retrain bumps the cache's model
+// generation the moment it completes — every cached answer the old model
+// computed becomes unreachable, in memory and on disk. The only error
+// paths are the persistence options (an unopenable CacheDir, or CacheDir
+// combined with disabled caching).
+func (s *System) Server(o ServerOptions) (*Server, error) {
 	sv := &Server{sys: s}
-	sv.rt = serve.New(sv.compute(newQueryConfig(nil)), serve.Options{
+	// The epoch is read before the store adopts a persisted generation and
+	// re-checked after the retrain hook is live; a Learn completing in
+	// between would otherwise have notified nobody, leaving its stale
+	// entries reachable.
+	epoch := s.retrainEpoch.Load()
+	ro := serve.Options{
 		CacheShards:   o.CacheShards,
 		CacheEntries:  o.CacheEntries,
+		TTL:           o.CacheTTL,
 		MaxConcurrent: o.MaxConcurrent,
 		BatchWorkers:  o.BatchWorkers,
 		Timeout:       o.Timeout,
 		Normalize:     text.Normalize,
-	})
-	return sv
+	}
+	var store serve.Store[served]
+	if o.CacheDir != "" {
+		if o.CacheEntries < 0 {
+			return nil, errors.New("kbqa: CacheDir requires caching enabled (CacheEntries >= 0)")
+		}
+		ds, err := serve.OpenDiskStore[served](o.CacheDir, serve.JSONCodec[served]{}, serve.DiskOptions{
+			Shards:   o.CacheShards,
+			Entries:  o.CacheEntries,
+			Meta:     s.cacheMeta(),
+			ModelTag: s.modelTag(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("kbqa: open persistent answer cache: %w", err)
+		}
+		sv.ds = ds
+		store = ds
+	}
+	sv.rt = serve.NewWithStore(sv.compute(newQueryConfig(nil)), ro, store)
+	if o.RateLimit > 0 {
+		sv.limiter = serve.NewLimiter(o.RateLimit, o.RateBurst)
+	}
+	// invalidate stamps the current model's content tag before bumping, so
+	// the persisted generation record binds generation → model; a later
+	// boot running a different model then refuses the entries instead of
+	// serving another model's answers.
+	invalidate := func() {
+		if sv.ds != nil {
+			sv.ds.SetModelTag(s.modelTag())
+		}
+		sv.rt.BumpGeneration()
+	}
+	sv.unhook = s.onRetrain(invalidate)
+	if s.retrainEpoch.Load() != epoch {
+		invalidate() // a retrain raced construction; over-invalidating is harmless
+	}
+	return sv, nil
+}
+
+// cacheMeta fingerprints the world a persistent cache directory belongs
+// to, so a segment written by one system is never replayed into another
+// (different flavor, seed or scale ⇒ different meta ⇒ the segment is
+// discarded at open). Learned state is deliberately excluded — the model's
+// identity travels separately as modelTag, per generation.
+func (s *System) cacheMeta() string {
+	st := s.Stats()
+	return fmt.Sprintf("%s|e%d|t%d|p%d|c%d", st.Flavor, st.Entities, st.Triples, st.Predicates, st.CorpusSize)
+}
+
+// modelTag fingerprints the content of the current learned model, binding
+// persisted cache generations to the model that computed them: a cache
+// written under one model is never served by a process running another,
+// however the mismatch arose (a Learn before the shutdown, a Learn before
+// Server construction, a different training corpus entirely).
+func (s *System) modelTag() string {
+	s.mu.RLock()
+	m := s.world.Model
+	s.mu.RUnlock()
+	return strconv.FormatUint(m.Fingerprint(), 16)
 }
 
 // compute builds the serving-layer engine function for one resolved option
@@ -87,11 +183,11 @@ func (sv *Server) compute(cfg queryConfig) serve.AskFunc[served] {
 		st := serve.StageTimings{Parse: tm.Parse, Match: tm.Match, Probe: tm.Probe}
 		if err != nil {
 			if IsUnanswerable(err) {
-				return served{code: ErrorCode(err)}, st, false, nil
+				return served{Code: ErrorCode(err)}, st, false, nil
 			}
 			return served{}, st, false, err
 		}
-		return served{res: res}, st, true, nil
+		return served{Res: res}, st, true, nil
 	}
 }
 
@@ -122,10 +218,10 @@ func (sv *Server) Query(ctx context.Context, question string, opts ...QueryOptio
 		return nil, err
 	}
 	if !ok {
-		sv.rt.CountError(out.code)
-		return nil, errorFromCode(out.code)
+		sv.rt.CountError(out.Code)
+		return nil, errorFromCode(out.Code)
 	}
-	return out.res, nil
+	return out.Res, nil
 }
 
 // BatchResult is one slot of a QueryBatch reply, aligned with the input
@@ -155,10 +251,10 @@ func (sv *Server) QueryBatch(ctx context.Context, questions []string, opts ...Qu
 		br := BatchResult{Question: it.Question, Err: it.Err}
 		if it.Err == nil {
 			if it.OK {
-				br.Result = it.Answer.res
+				br.Result = it.Answer.Res
 			} else {
-				sv.rt.CountError(it.Answer.code)
-				br.Err = errorFromCode(it.Answer.code)
+				sv.rt.CountError(it.Answer.Code)
+				br.Err = errorFromCode(it.Answer.Code)
 			}
 		}
 		out[i] = br
@@ -235,9 +331,67 @@ const PrometheusContentType = serve.PrometheusContentType
 // System returns the wrapped system (for /stats-style introspection).
 func (sv *Server) System() *System { return sv.sys }
 
+// Generation returns the model generation keying new cache entries; it
+// starts from the persisted generation when CacheDir is set and bumps on
+// every Learn/LoadModel of the wrapped system.
+func (sv *Server) Generation() uint64 { return sv.rt.Generation() }
+
+// WarmFromCorpus primes the answer cache at boot by answering qs through
+// the full serving pipeline under the given options — the paper's cheap
+// online phase paid once, ahead of traffic. Questions already resident
+// (replayed from CacheDir, say) cost nothing. It reports how many of qs
+// ended resident; positive and negative answers both warm the cache, while
+// context and infrastructure failures don't. With caching disabled there
+// is nothing to warm: it returns 0 without touching the engine.
+func (sv *Server) WarmFromCorpus(ctx context.Context, qs []string, opts ...QueryOption) (warmed int) {
+	cfg := newQueryConfig(opts)
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+		cfg.timeout = 0
+	}
+	return sv.rt.Warm(ctx, qs, cfg.fingerprint(), sv.compute(cfg))
+}
+
+// Allow applies the per-client rate limit (ServerOptions.RateLimit) to one
+// request from the given client key — an API key, a remote address,
+// whatever identifies a caller. ok=false means the request must be refused
+// (HTTP 429) and retryAfter is the Retry-After hint; rejections bump
+// kbqa_ratelimit_rejected_total. With no rate limit configured every
+// request is allowed.
+func (sv *Server) Allow(client string) (ok bool, retryAfter time.Duration) {
+	return sv.AllowN(client, 1)
+}
+
+// AllowN is Allow for a request worth n quota units — a batch of n
+// questions is charged n, so batching cannot out-run the per-client rate
+// (see serve.Limiter.AllowN for the debt semantics).
+func (sv *Server) AllowN(client string, n int) (ok bool, retryAfter time.Duration) {
+	if sv.limiter == nil {
+		return true, 0
+	}
+	ok, retryAfter = sv.limiter.AllowN(client, n, time.Now())
+	if !ok {
+		sv.rt.CountRateLimited()
+	}
+	return ok, retryAfter
+}
+
+// Flush forces buffered persistent-cache writes to disk without closing
+// the server; a no-op for memory-only servers.
+func (sv *Server) Flush() error { return sv.rt.Flush() }
+
 // Close puts the server into shutdown: subsequent calls fail fast while
-// in-flight requests drain normally.
-func (sv *Server) Close() { sv.rt.Close() }
+// in-flight requests drain to completion, after which pending
+// persistent-cache writes are flushed and the cache closed. The server's
+// retrain hook is deregistered from the system, so closed servers aren't
+// retained (or notified) by later Learn/LoadModel calls. The error is the
+// flush/close outcome (always nil for memory-only servers).
+func (sv *Server) Close() error {
+	sv.unhook()
+	return sv.rt.Close()
+}
 
 // AskBatch is the uncached batch form of Ask: the questions fan out over a
 // bounded worker pool (GOMAXPROCS workers) and the replies come back in

@@ -11,7 +11,7 @@ import (
 
 func TestServerQueryMatchesSystemQuery(t *testing.T) {
 	s := testSystem(t)
-	sv := s.Server(ServerOptions{})
+	sv := mustServer(t, s, ServerOptions{})
 	defer sv.Close()
 	ctx := context.Background()
 	for _, q := range s.SampleQuestions(8) {
@@ -40,7 +40,7 @@ func TestServerQueryMatchesSystemQuery(t *testing.T) {
 // interpretation count.
 func TestServerQueryFingerprintSeparation(t *testing.T) {
 	s := testSystem(t)
-	sv := s.Server(ServerOptions{})
+	sv := mustServer(t, s, ServerOptions{})
 	defer sv.Close()
 	ctx := context.Background()
 	q := s.SampleQuestions(1)[0]
@@ -76,7 +76,7 @@ func TestServerQueryFingerprintSeparation(t *testing.T) {
 // code lands in the labelled metrics.
 func TestServerQueryTypedErrorsCached(t *testing.T) {
 	s := testSystem(t)
-	sv := s.Server(ServerOptions{})
+	sv := mustServer(t, s, ServerOptions{})
 	defer sv.Close()
 	ctx := context.Background()
 	for i := 0; i < 3; i++ {
@@ -103,7 +103,7 @@ func TestServerQueryTypedErrorsCached(t *testing.T) {
 
 func TestServerQueryBatch(t *testing.T) {
 	s := testSystem(t)
-	sv := s.Server(ServerOptions{BatchWorkers: 4})
+	sv := mustServer(t, s, ServerOptions{BatchWorkers: 4})
 	defer sv.Close()
 	qs := append(s.SampleQuestions(6), "what is the meaning of life")
 	items := sv.QueryBatch(context.Background(), qs, WithTopK(2))
@@ -133,7 +133,7 @@ func TestServerQueryBatch(t *testing.T) {
 // admission) as well as the engine call.
 func TestServerQueryWithTimeout(t *testing.T) {
 	s := testSystem(t)
-	sv := s.Server(ServerOptions{CacheEntries: -1})
+	sv := mustServer(t, s, ServerOptions{CacheEntries: -1})
 	defer sv.Close()
 	q := s.SampleQuestions(1)[0]
 	if _, err := sv.Query(context.Background(), q, WithTimeout(time.Nanosecond)); !errors.Is(err, context.DeadlineExceeded) {
@@ -147,7 +147,7 @@ func TestServerQueryWithTimeout(t *testing.T) {
 // TestServerImplementsAnswerer: a Server chains like any other Answerer.
 func TestServerImplementsAnswerer(t *testing.T) {
 	s := testSystem(t)
-	sv := s.Server(ServerOptions{})
+	sv := mustServer(t, s, ServerOptions{})
 	defer sv.Close()
 	var _ Answerer = sv
 	var _ Answerer = s

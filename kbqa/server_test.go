@@ -6,9 +6,20 @@ import (
 	"testing"
 )
 
+// mustServer builds a Server or fails the test; the constructor only
+// errors on persistence options.
+func mustServer(t testing.TB, s *System, o ServerOptions) *Server {
+	t.Helper()
+	sv, err := s.Server(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv
+}
+
 func TestServerAskMatchesSystemAsk(t *testing.T) {
 	s := testSystem(t)
-	sv := s.Server(ServerOptions{})
+	sv := mustServer(t, s, ServerOptions{})
 	defer sv.Close()
 	ctx := context.Background()
 	for _, q := range s.SampleQuestions(10) {
@@ -34,7 +45,7 @@ func TestServerAskMatchesSystemAsk(t *testing.T) {
 
 func TestServerAskBatchOrder(t *testing.T) {
 	s := testSystem(t)
-	sv := s.Server(ServerOptions{BatchWorkers: 4})
+	sv := mustServer(t, s, ServerOptions{BatchWorkers: 4})
 	defer sv.Close()
 	qs := s.SampleQuestions(8)
 	qs = append(qs, "what is the meaning of life")
@@ -72,7 +83,7 @@ func TestSystemAskBatch(t *testing.T) {
 // baseline and the cache counters must balance.
 func TestServerConcurrentParity(t *testing.T) {
 	s := testSystem(t)
-	sv := s.Server(ServerOptions{CacheEntries: 32})
+	sv := mustServer(t, s, ServerOptions{CacheEntries: 32})
 	defer sv.Close()
 	qs := s.SampleQuestions(12)
 	baseline := make([]Answer, len(qs))
