@@ -18,7 +18,11 @@
 //	GET  /health                     -> liveness probe
 //
 // With -cache-dir the answer cache persists across restarts (append-only
-// checksummed segment, compacted at boot); -cache-ttl expires entries;
+// checksummed segment log: rotation + background merge keep compaction
+// off the request path, and the directory is flock-guarded against a
+// second server process); -cache-sync bounds durability — an answer is
+// durable within that period of being computed; -cache-ttl expires
+// entries (expired entries are also dropped from disk by merges);
 // -warm N primes the cache with N training-corpus questions at boot;
 // -rate-limit R (with -rate-burst B) enforces a per-client token-bucket
 // quota, answering 429 with a Retry-After header once a client (identified
@@ -342,6 +346,7 @@ func main() {
 	cacheEntries := flag.Int("cache", 0, "answer cache capacity (0 = default 4096, negative disables)")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent answer cache (empty = memory only)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "answer cache entry time-to-live (0 = no expiry)")
+	cacheSync := flag.Duration("cache-sync", time.Second, "persistent cache fsync period: answers are durable within this of being computed (0 = default 1s, negative = only at flush/shutdown)")
 	warm := flag.Int("warm", 0, "warm the cache with N training-corpus questions at boot (0 = off)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client sustained requests/second (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "per-client burst allowance (0 = ceil of -rate-limit)")
@@ -358,13 +363,14 @@ func main() {
 	log.Printf("ready: %d templates over %d predicates", st.Templates, st.Intents)
 
 	s, err := newServer(sys, kbqa.ServerOptions{
-		CacheEntries:  *cacheEntries,
-		CacheDir:      *cacheDir,
-		CacheTTL:      *cacheTTL,
-		MaxConcurrent: *maxConcurrent,
-		Timeout:       *timeout,
-		RateLimit:     *rateLimit,
-		RateBurst:     *rateBurst,
+		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
+		CacheTTL:       *cacheTTL,
+		CacheSyncEvery: *cacheSync,
+		MaxConcurrent:  *maxConcurrent,
+		Timeout:        *timeout,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
 	})
 	if err != nil {
 		log.Fatalf("kbqa-server: %v", err)

@@ -79,6 +79,24 @@ func (c *answerCache[A]) Put(key string, e Entry[A]) {
 	}
 }
 
+// has reports residency without touching LRU order — the disk store's
+// merger asks about keys without promoting them.
+func (c *answerCache[A]) has(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[key] != nil
+}
+
+// Delete removes the entry if resident, counting the removal as an
+// eviction — the caller is freeing a slot the entry no longer deserves
+// (typically a TTL-expired read).
+func (c *answerCache[A]) Delete(key string) {
+	if c.shard(key).del(key) {
+		c.evictions.Add(1)
+	}
+}
+
 // Len reports the number of resident entries across all shards.
 func (c *answerCache[A]) Len() int {
 	n := 0
@@ -145,6 +163,18 @@ func (s *cacheShard[A]) put(key string, entry Entry[A]) (evicted bool) {
 		return true
 	}
 	return false
+}
+
+func (s *cacheShard[A]) del(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.items[key]
+	if e == nil {
+		return false
+	}
+	s.detach(e)
+	delete(s.items, key)
+	return true
 }
 
 func (s *cacheShard[A]) detach(e *cached[A]) {

@@ -65,6 +65,28 @@ func TestGenerationTTLExpiry(t *testing.T) {
 	}
 }
 
+// TestTTLExpiredReadFreesSlot: a TTL miss must purge the dead entry — an
+// expired entry otherwise pins an LRU slot until capacity pressure happens
+// to displace it — and the purge is counted as an eviction.
+func TestTTLExpiredReadFreesSlot(t *testing.T) {
+	var calls atomic.Int64
+	r := New(echoAsk(&calls), Options{TTL: time.Nanosecond})
+	ctx := context.Background()
+	r.Ask(ctx, "q")
+	time.Sleep(time.Millisecond)
+	r.Ask(ctx, "q") // expired read: purge, then recompute in place
+	m := r.Metrics()
+	if m.CacheEvictions != 1 {
+		t.Errorf("evictions = %d, want 1 (the expired entry was purged, not displaced)", m.CacheEvictions)
+	}
+	if m.CacheEntries != 1 {
+		t.Errorf("entries = %d, want 1 (the recompute refilled the freed slot)", m.CacheEntries)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("engine calls = %d, want 2", n)
+	}
+}
+
 // TestWarmFromCorpus: warming primes the cache (later traffic hits), and
 // with caching disabled it is a no-op that never touches the engine.
 func TestWarmFromCorpus(t *testing.T) {

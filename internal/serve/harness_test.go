@@ -18,6 +18,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -57,6 +58,12 @@ type harnessReply struct {
 // every engine call; limiter, when non-nil, guards /ask the way
 // cmd/kbqa-server guards its endpoints.
 func newHarness(t *testing.T, dir string, world map[string]string, limiter *Limiter) *harness {
+	return newHarnessDisk(t, dir, world, limiter, DiskOptions{Meta: "harness"})
+}
+
+// newHarnessDisk is newHarness with explicit disk options, for tests that
+// shrink the rotation threshold or enable periodic sync.
+func newHarnessDisk(t *testing.T, dir string, world map[string]string, limiter *Limiter, disk DiskOptions) *harness {
 	t.Helper()
 	h := &harness{}
 	h.world.Store(&world)
@@ -65,7 +72,7 @@ func newHarness(t *testing.T, dir string, world map[string]string, limiter *Limi
 		a, ok := (*h.world.Load())[q]
 		return a, StageTimings{}, ok, nil
 	}
-	store, err := OpenDiskStore[string](dir, JSONCodec[string]{}, DiskOptions{Meta: "harness"})
+	store, err := OpenDiskStore[string](dir, JSONCodec[string]{}, disk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,27 +119,37 @@ func (h *harness) shutdown(t *testing.T) {
 // rate-limited harness.
 func (h *harness) ask(t *testing.T, q, apiKey string) (harnessReply, *http.Response) {
 	t.Helper()
-	req, err := http.NewRequest(http.MethodGet, h.ts.URL+"/ask?q="+escapeQ(q), nil)
+	reply, resp, err := h.askE(q, apiKey)
 	if err != nil {
 		t.Fatal(err)
+	}
+	return reply, resp
+}
+
+// askE is ask without the testing.T, for worker goroutines (t.Fatal only
+// works from the test's own goroutine).
+func (h *harness) askE(q, apiKey string) (harnessReply, *http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, h.ts.URL+"/ask?q="+escapeQ(q), nil)
+	if err != nil {
+		return harnessReply{}, nil, err
 	}
 	if apiKey != "" {
 		req.Header.Set("X-API-Key", apiKey)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		t.Fatal(err)
+		return harnessReply{}, nil, err
 	}
 	defer resp.Body.Close()
 	var reply harnessReply
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-			t.Fatal(err)
+			return harnessReply{}, resp, err
 		}
 	} else {
 		io.Copy(io.Discard, resp.Body)
 	}
-	return reply, resp
+	return reply, resp, nil
 }
 
 func (h *harness) prometheus(t *testing.T) string {
@@ -281,6 +298,70 @@ func TestHarnessRateLimit429(t *testing.T) {
 	}
 	if got := h.prometheus(t); !containsLine(got, "kbqa_ratelimit_rejected_total 1") {
 		t.Errorf("prometheus exposition missing ratelimit counter:\n%s", got)
+	}
+}
+
+// TestHarnessRotationChurn runs the full stack with a rotation threshold
+// and sync period small enough that every run exercises segment rotation,
+// the background merger, and the periodic fsync concurrently with HTTP
+// traffic and retrains (CI runs this under -race); a restart then proves
+// the churn lost nothing and resurrected nothing.
+func TestHarnessRotationChurn(t *testing.T) {
+	dir := t.TempDir()
+	disk := DiskOptions{Meta: "harness", CompactEvery: 1024, SyncEvery: time.Millisecond}
+	h := newHarnessDisk(t, dir, harnessWorld(0), nil, disk)
+
+	// Concurrent traffic over every question, interleaved with retrains:
+	// each version swap + bump re-answers the world under a new generation,
+	// pushing enough appends through the log to rotate several times.
+	const versions = 3
+	for v := 0; v <= versions; v++ {
+		if v > 0 {
+			w := harnessWorld(v)
+			h.world.Store(&w)
+			h.rt.BumpGeneration()
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q, want := range harnessWorld(v) {
+					reply, resp, err := h.askE(q, "")
+					if err != nil || resp.StatusCode != http.StatusOK || reply.Answer != want {
+						t.Errorf("v%d ask(%q) = %v %q (err %v), want %q", v, q, resp, reply.Answer, err, want)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	m := h.rt.Metrics()
+	if !m.CachePersistent || m.CacheSegmentRotations == 0 {
+		t.Fatalf("churn never rotated (persistent=%v rotations=%d); shrink the threshold", m.CachePersistent, m.CacheSegmentRotations)
+	}
+	if got := h.prometheus(t); !strings.Contains(got, "kbqa_cache_segment_rotations_total") ||
+		!strings.Contains(got, "kbqa_cache_sync_age_seconds") {
+		t.Errorf("prometheus exposition missing rotation/sync metrics:\n%s", got)
+	}
+	h.shutdown(t)
+
+	// Reboot: only the final version's answers may exist, all served from
+	// disk, none recomputed — across however many segments the churn left.
+	h2 := newHarnessDisk(t, dir, harnessWorld(versions), nil, disk)
+	defer h2.shutdown(t)
+	if g := h2.rt.Generation(); g != versions {
+		t.Fatalf("post-restart generation = %d, want %d", g, versions)
+	}
+	for q, want := range harnessWorld(versions) {
+		reply, resp := h2.ask(t, q, "")
+		if resp.StatusCode != http.StatusOK || reply.Answer != want {
+			t.Fatalf("post-restart ask(%q) = %d %q, want %q", q, resp.StatusCode, reply.Answer, want)
+		}
+	}
+	if n := h2.engineCalls.Load(); n != 0 {
+		t.Fatalf("post-restart engine calls = %d, want 0 (all answers from disk)", n)
 	}
 }
 

@@ -195,6 +195,24 @@ type Snapshot struct {
 	CacheEvictions      uint64  `json:"cache_evictions"`
 	CacheEntries        int     `json:"cache_entries"`
 	HitRate             float64 `json:"hit_rate"`
+	// CachePersistent marks runtimes whose store is disk-backed; the
+	// rotation/merge/sync fields below are meaningful only when set.
+	CachePersistent bool `json:"cache_persistent,omitempty"`
+	// CacheSegmentRotations counts active-segment rotations — each sealed
+	// the segment in O(1) and handed it to the background merger
+	// (kbqa_cache_segment_rotations_total).
+	CacheSegmentRotations uint64 `json:"cache_segment_rotations,omitempty"`
+	// CacheCompactions counts completed compaction passes: background
+	// merges plus the boot-time compaction (kbqa_cache_compactions_total).
+	CacheCompactions uint64 `json:"cache_compactions,omitempty"`
+	// CacheSealedBytes is the bytes in sealed segments awaiting merge —
+	// sustained growth means the merger is not keeping up with rotation
+	// (kbqa_cache_sealed_bytes).
+	CacheSealedBytes int64 `json:"cache_sealed_bytes,omitempty"`
+	// CacheSyncAgeSeconds is the age of the persistent cache's last
+	// durability point; with CacheSyncEvery set it hovers around that
+	// period (kbqa_cache_sync_age_seconds).
+	CacheSyncAgeSeconds float64 `json:"cache_sync_age_seconds,omitempty"`
 	// Generation is the model generation keying new cache entries; it
 	// bumps on every retrain (Learn/LoadModel), unreaching prior entries.
 	Generation uint64 `json:"generation"`

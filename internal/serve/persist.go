@@ -9,58 +9,105 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // DiskStore is the persistent Store: a sharded in-memory LRU (the serving
-// fast path — Get never touches the disk) in front of a single append-only
-// segment file. Every Put appends one length-prefixed, checksummed record;
-// generation bumps append a generation record carrying the current model
-// tag; Open replays the segment, drops dead weight (superseded keys, dead
-// generations, entries whose generation belongs to a different model, a
-// torn tail from a crash) and compacts the survivors into a fresh segment
-// before serving. While running, the segment is re-compacted from the
-// in-memory index every CompactEvery appended bytes, so it stays bounded
-// on long-lived servers.
+// fast path — Get never touches the disk) in front of a log of append-only
+// segment files. Every Put appends one length-prefixed, checksummed record
+// to the active segment; generation bumps append a generation record
+// carrying the current model tag.
 //
-// Durability is flush-based, not per-write: records sit in a buffered
-// writer until Flush or Close (the runtime flushes on Close, after draining
-// in-flight computations). A process that dies between flushes loses only
-// the unflushed suffix — the checksummed framing means a torn tail is
-// detected and discarded on the next open, never served.
+// The segments form a three-tier log, replayed in write order at open:
 //
-// The store is single-writer: exactly one process may have a directory
-// open at a time. There is no cross-process lock; a second opener compacts
-// the segment out from under the first, whose buffered writes then land in
-// the unlinked file and are lost (each process's answers stay correct —
-// only persistence of the loser's writes is forfeited).
+//	answers.base            dense base: the merger's last published output
+//	answers.<seq>.sealed    sealed segments awaiting merge, ascending seq
+//	answers.seg             the active segment, the only append target
+//
+// When the active segment crosses CompactEvery appended bytes, append
+// rotates: the active file is flushed, renamed to the next sealed name,
+// and a fresh active segment is created — an O(1) handful of metadata
+// operations, however much live data the store holds. A single background
+// merger goroutine then compacts base + sealed into a new dense base
+// (last write per key, live generation only, TTL-live only), publishes it
+// with an atomic rename, and only then deletes the consumed sealed files,
+// oldest first. A crash at any point between rotation and merge-publish
+// loses nothing and resurrects nothing: replay of base + surviving sealed
+// + active reconstructs exactly the last-write-wins state, and a sealed
+// segment that outlives its own merge replays idempotently (its records
+// are precisely the ones that won). Every fresh active segment re-declares
+// the current generation, so invalidation survives restarts even after
+// the segment that recorded the bump is merged away.
+//
+// Durability is time-based when SyncEvery is set: the merger goroutine
+// flushes and fsyncs the active segment on that period, so an answer is
+// durable within SyncEvery of being computed. With SyncEvery zero the
+// store keeps the legacy contract — durability points are Flush, Close,
+// rotations handed to the merger, and merge publishes. Either way the
+// checksummed framing means a torn tail is detected and discarded at the
+// next open, never served.
+//
+// The store is single-writer, enforced: OpenDiskStore takes an exclusive
+// flock on a lock file inside the directory and fails fast when another
+// process holds it, instead of letting two writers interleave appends and
+// corrupt the log. The lock dies with the process, so a crashed owner
+// never wedges the directory.
 type DiskStore[A any] struct {
-	mem          *answerCache[A]
-	codec        Codec[A]
-	path         string
-	meta         string
-	gen          atomic.Uint64
-	compactEvery int64
-	encodeDrops  atomic.Uint64 // entries kept memory-only (unencodable or oversized)
+	mem         *answerCache[A]
+	codec       Codec[A]
+	dir         string
+	meta        string
+	gen         atomic.Uint64
+	rotateEvery int64
+	ttl         time.Duration
+	encodeDrops atomic.Uint64 // entries kept memory-only (unencodable or oversized)
 
-	mu       sync.Mutex // guards the segment file, writer, tag, and error state
-	tag      string     // model tag recorded in generation records
-	appended int64      // bytes appended since the last compaction
-	f        *os.File
+	rotations   atomic.Uint64 // active-segment rotations
+	compactions atomic.Uint64 // completed compaction passes (merges + boot)
+	sealedBytes atomic.Int64  // bytes in sealed segments awaiting merge
+	lastSync    atomic.Int64  // UnixNano of the last durability point
+	dirDirty    atomic.Bool   // a rename/create since the last directory fsync
+
+	lock *os.File // flock'd lock file; held for the store's lifetime
+
+	mu       sync.Mutex  // guards the active segment, writer, tag, sealed list, error state
+	tag      string      // model tag recorded in generation records
+	appended int64       // bytes appended to the active segment
+	seq      uint64      // next sealed-segment sequence number
+	sealed   []sealedSeg // rotation order; the merger consumes a prefix
+	f        *os.File    // active segment
 	w        *bufio.Writer
 	writeErr error // sticky: first append/flush failure, surfaced by Flush/Close
 	closed   bool
+
+	mergeCh    chan struct{} // signals the merger that sealed segments exist
+	stopMerger chan struct{}
+	mergerDone chan struct{}
+}
+
+// sealedSeg is one rotated-out segment awaiting merge.
+type sealedSeg struct {
+	path string
+	size int64
+	// synced marks segments already fsynced (by the periodic sync or the
+	// merger), so the SyncEvery durability bound covers rotated-out bytes
+	// too, not just the active segment.
+	synced bool
 }
 
 // DiskOptions tunes OpenDiskStore; the zero value matches the runtime's
 // in-memory defaults.
 type DiskOptions struct {
-	// Shards and Entries size the in-memory index in front of the segment
-	// (defaults 16 shards × 4096 entries). Entries bounds memory only: the
-	// segment keeps every live record, and an entry evicted from memory is
-	// resurrected by the next open.
+	// Shards and Entries size the in-memory index in front of the segments
+	// (defaults 16 shards × 4096 entries). Entries also bounds the log in
+	// steady state: an entry evicted from memory is resurrected by the
+	// next open until a background merge drops it, so the base converges
+	// on the in-memory working set rather than every key ever asked.
 	Shards  int
 	Entries int
 	// Meta fingerprints the lineage of the answers (world identity). A
@@ -76,18 +123,26 @@ type DiskOptions struct {
 	// served against the wrong model. Empty tags compare like any other
 	// value, so tag-less stores keep plain generation semantics.
 	ModelTag string
-	// CompactEvery triggers an online compaction after that many bytes of
-	// appended records, bounding segment growth (and replay cost) on
-	// long-running servers whose keys churn under TTL or retrains. The
-	// online pass rewrites the segment from the in-memory index, so
-	// entries that were evicted from memory stop being resurrected by the
-	// next open. 0 means the default (16 MiB); negative disables online
-	// compaction (compaction still happens at every open).
+	// CompactEvery is the rotation threshold: once that many bytes have
+	// been appended to the active segment it is sealed and handed to the
+	// background merger, bounding both segment growth and the worst-case
+	// Put (rotation is O(1); the compaction happens off the request path).
+	// 0 means the default (16 MiB); negative disables rotation (the log
+	// still compacts at every open).
 	CompactEvery int64
+	// SyncEvery is the period of the background fsync of the active
+	// segment: an answer is durable within SyncEvery of being computed.
+	// 0 (or negative) keeps the legacy behavior — durability points are
+	// Flush, Close, rotations, and merge publishes.
+	SyncEvery time.Duration
+	// TTL is the liveness cutoff: entries older than TTL are dropped by
+	// merge and replay instead of being rewritten and re-served forever
+	// after the runtime's own TTL has expired them. 0 keeps everything.
+	// Wire it to the runtime's Options.TTL.
+	TTL time.Duration
 }
 
-// defaultCompactEvery is the appended-bytes budget between online
-// compactions.
+// defaultCompactEvery is the appended-bytes rotation threshold.
 const defaultCompactEvery = 16 << 20
 
 const (
@@ -99,19 +154,36 @@ const (
 	// maxRecordLen bounds a record's declared payload length so a corrupt
 	// length prefix cannot drive a giant allocation.
 	maxRecordLen = 1 << 26
-	// segName is the segment file inside the store directory.
+	// segName is the active segment file inside the store directory.
 	segName = "answers.seg"
+	// baseName is the dense base segment the merger publishes.
+	baseName = "answers.base"
+	// sealedPrefix/sealedSuffix frame sealed segment names:
+	// answers.<8-digit seq>.sealed.
+	sealedPrefix = "answers."
+	sealedSuffix = ".sealed"
+	// lockName is the cross-process exclusion file.
+	lockName = "LOCK"
 )
 
-// errBadRecord marks a truncated or corrupt record; open treats it as the
-// end of the valid prefix and drops everything after it.
+// errBadRecord marks a truncated or corrupt record; replay treats it as the
+// end of that file's valid prefix and drops everything after it.
 var errBadRecord = errors.New("serve: bad segment record")
 
+func (s *DiskStore[A]) activePath() string { return filepath.Join(s.dir, segName) }
+func (s *DiskStore[A]) basePath() string   { return filepath.Join(s.dir, baseName) }
+
+func sealedName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", sealedPrefix, seq, sealedSuffix)
+}
+
 // OpenDiskStore opens (or creates) the persistent answer store rooted at
-// dir, replaying and compacting any existing segment. A nil codec defaults
-// to JSONCodec. The returned store carries the last persisted generation
-// (see GenerationStore); entries of older generations are dropped during
-// compaction.
+// dir, replaying base + sealed + active segments in write order and
+// compacting the survivors into a fresh dense base before serving. A nil
+// codec defaults to JSONCodec. The returned store carries the last
+// persisted generation (see GenerationStore); entries of dead generations,
+// entries past DiskOptions.TTL, and any torn tail are dropped. It fails
+// fast if another process holds the directory.
 func OpenDiskStore[A any](dir string, codec Codec[A], o DiskOptions) (*DiskStore[A], error) {
 	if codec == nil {
 		codec = JSONCodec[A]{}
@@ -125,20 +197,33 @@ func OpenDiskStore[A any](dir string, codec Codec[A], o DiskOptions) (*DiskStore
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: open disk store: %w", err)
 	}
-	s := &DiskStore[A]{
-		mem:          newAnswerCache[A](o.Shards, o.Entries),
-		codec:        codec,
-		path:         filepath.Join(dir, segName),
-		meta:         o.Meta,
-		tag:          o.ModelTag,
-		compactEvery: o.CompactEvery,
-	}
-	if s.compactEvery == 0 {
-		s.compactEvery = defaultCompactEvery
-	}
-	live, gen, genTag, err := s.replay()
+	lock, err := acquireDirLock(dir)
 	if err != nil {
 		return nil, err
+	}
+	s := &DiskStore[A]{
+		mem:         newAnswerCache[A](o.Shards, o.Entries),
+		codec:       codec,
+		dir:         dir,
+		meta:        o.Meta,
+		tag:         o.ModelTag,
+		rotateEvery: o.CompactEvery,
+		ttl:         o.TTL,
+		lock:        lock,
+	}
+	if s.rotateEvery == 0 {
+		s.rotateEvery = defaultCompactEvery
+	}
+	fail := func(err error) (*DiskStore[A], error) {
+		lock.Close()
+		return nil, err
+	}
+
+	files, nextSeq := s.segmentFiles()
+	s.seq = nextSeq
+	live, gen, genTag, err := s.replay(files)
+	if err != nil {
+		return fail(err)
 	}
 	if genTag != o.ModelTag {
 		// The persisted answers belong to a model this process is not
@@ -151,20 +236,40 @@ func OpenDiskStore[A any](dir string, codec Codec[A], o DiskOptions) (*DiskStore
 		live = nil
 	}
 	s.gen.Store(gen)
-	if err := s.compact(live, gen, o.ModelTag); err != nil {
-		return nil, err
+	// Boot-time compaction: fold everything into a dense base, then start
+	// an empty active segment — off any request path by definition.
+	if err := s.writeSegment(s.basePath(), live, gen, o.ModelTag); err != nil {
+		return fail(err)
 	}
-	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	s.compactions.Add(1)
+	for _, p := range files {
+		// The sealed segments (and any half-written merge output) are
+		// folded into the fresh base now; remove them so a later rotation
+		// can never collide with a leftover name.
+		if p != s.basePath() && p != s.activePath() {
+			os.Remove(p)
+		}
+	}
+	s.mu.Lock()
+	err = s.startActiveLocked()
+	s.mu.Unlock()
 	if err != nil {
-		return nil, fmt.Errorf("serve: open segment for append: %w", err)
+		return fail(err)
 	}
-	s.f = f
-	s.w = bufio.NewWriter(f)
+	// Make the fresh active's directory entry (and the sealed removals)
+	// durable, so a later data fsync of the active file cannot report
+	// bytes durable in a file a crash then unlinks.
+	syncDir(dir)
 	for _, le := range live {
 		e := le.e
 		e.Persisted = true
 		s.mem.Put(le.key, e)
 	}
+	s.lastSync.Store(time.Now().UnixNano())
+	s.mergeCh = make(chan struct{}, 1)
+	s.stopMerger = make(chan struct{})
+	s.mergerDone = make(chan struct{})
+	go s.merger(o.SyncEvery)
 	return s, nil
 }
 
@@ -174,43 +279,98 @@ type liveEntry[A any] struct {
 	e   Entry[A]
 }
 
-// replay scans the existing segment (if any) and returns the live entries —
-// last record per key, latest generation only — plus the highest generation
-// seen and the model tag recorded with it. A missing file, a foreign
-// magic/meta header, or a corrupt prefix yields an empty store; a corrupt
-// or torn tail keeps the valid prefix.
-func (s *DiskStore[A]) replay() ([]liveEntry[A], uint64, string, error) {
-	f, err := os.Open(s.path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, 0, s.tag, nil
+// segmentFiles lists the segment files to replay, in write order — base,
+// sealed ascending by sequence, active — plus the next sealed sequence
+// number (one past the highest present, so a rotation can never rename
+// onto a leftover sealed file).
+func (s *DiskStore[A]) segmentFiles() (files []string, nextSeq uint64) {
+	if _, err := os.Stat(s.basePath()); err == nil {
+		files = append(files, s.basePath())
 	}
-	if err != nil {
-		return nil, 0, "", fmt.Errorf("serve: open segment: %w", err)
+	ents, _ := os.ReadDir(s.dir)
+	var seqs []uint64
+	for _, de := range ents {
+		name := de.Name()
+		if !strings.HasPrefix(name, sealedPrefix) || !strings.HasSuffix(name, sealedSuffix) {
+			continue
+		}
+		mid := strings.TrimSuffix(strings.TrimPrefix(name, sealedPrefix), sealedSuffix)
+		q, err := strconv.ParseUint(mid, 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, q)
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	if !readSegHeader(br, s.meta) {
-		return nil, 0, s.tag, nil // foreign or mangled segment: start fresh
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, q := range seqs {
+		files = append(files, filepath.Join(s.dir, sealedName(q)))
+		nextSeq = q + 1
 	}
+	if _, err := os.Stat(s.activePath()); err == nil {
+		files = append(files, s.activePath())
+	}
+	return files, nextSeq
+}
 
+// replay scans the given segment files in order and returns the live
+// entries — last record per key, latest generation only, TTL-live only —
+// plus the highest generation seen and the model tag recorded with it.
+// A missing file, a foreign magic/meta header, or a corrupt prefix
+// contributes nothing; a corrupt or torn tail keeps that file's valid
+// prefix.
+func (s *DiskStore[A]) replay(files []string) ([]liveEntry[A], uint64, string, error) {
 	var (
 		order  []liveEntry[A]
 		index  = make(map[string]int)
 		gen    uint64
-		genTag string
+		genTag = s.tag // an empty log matches the current model
 	)
+	for _, path := range files {
+		if err := s.replayFile(path, &order, index, &gen, &genTag); err != nil {
+			return nil, 0, "", err
+		}
+	}
+	// Entries of dead generations are unreachable (the runtime keys by
+	// generation), and entries past the TTL cutoff will never be served
+	// again — drop both here so they stop costing disk and replay.
+	now := time.Now()
+	live := order[:0]
+	for _, le := range order {
+		if le.e.Gen == gen && s.alive(le.e, now) {
+			live = append(live, le)
+		}
+	}
+	return live, gen, genTag, nil
+}
+
+// replayFile folds one segment file into the replay state; see replay.
+func (s *DiskStore[A]) replayFile(path string, order *[]liveEntry[A], index map[string]int, gen *uint64, genTag *string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: open segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if !readSegHeader(br, s.meta) {
+		return nil // foreign or mangled segment: contributes nothing
+	}
 	for {
 		payload, err := readRecord(br)
 		if err != nil {
 			// io.EOF is a clean end; anything else is a torn or corrupt
 			// tail — keep the prefix read so far.
-			break
+			return nil
 		}
 		switch payload[0] {
 		case recGen:
-			if g, tag, ok := decodeGenPayload(payload); ok && g >= gen {
-				gen = g
-				genTag = tag
+			// >= so the latest record of the highest generation owns the
+			// tag — the write order SetModelTag/SetGeneration establishes.
+			if g, tag, ok := decodeGenPayload(payload); ok && g >= *gen {
+				*gen = g
+				*genTag = tag
 			}
 		case recEntry:
 			key, val, eGen, at, ok, err := decodeEntryPayload(payload)
@@ -221,38 +381,32 @@ func (s *DiskStore[A]) replay() ([]liveEntry[A], uint64, string, error) {
 			if err != nil {
 				continue // codec drift (e.g. a changed answer type)
 			}
-			// A generation record always precedes that generation's
-			// entries in the log (SetGeneration writes it before any Put
-			// of the new generation), so eGen never exceeds gen here;
-			// entries of other generations are filtered below.
 			e := Entry[A]{Val: a, OK: ok, Gen: eGen, At: at}
 			if i, seen := index[key]; seen {
-				order[i].e = e
+				(*order)[i].e = e
 			} else {
-				index[key] = len(order)
-				order = append(order, liveEntry[A]{key: key, e: e})
+				index[key] = len(*order)
+				*order = append(*order, liveEntry[A]{key: key, e: e})
 			}
 		}
 	}
-	// Entries of dead generations are unreachable (the runtime keys by
-	// generation) — drop them here so they stop costing disk and replay.
-	live := order[:0]
-	for _, le := range order {
-		if le.e.Gen == gen {
-			live = append(live, le)
-		}
-	}
-	return live, gen, genTag, nil
 }
 
-// compact rewrites the segment to exactly the live set (plus one generation
-// record) and atomically renames it into place, so every open — and every
-// online compaction — leaves a dense, checksum-clean file.
-func (s *DiskStore[A]) compact(live []liveEntry[A], gen uint64, tag string) error {
-	tmp := s.path + ".tmp"
+// alive reports whether an entry is inside the liveness cutoff. Entries
+// older than TTL are misses forever at the runtime; persisting and
+// replaying them is pure dead weight.
+func (s *DiskStore[A]) alive(e Entry[A], now time.Time) bool {
+	return s.ttl <= 0 || now.Sub(e.At) <= s.ttl
+}
+
+// writeSegment renders the live set (plus one generation record) into a
+// dense, checksum-clean segment at path, fsyncs it, and atomically renames
+// it into place — the publish step of boot compaction and every merge.
+func (s *DiskStore[A]) writeSegment(path string, live []liveEntry[A], gen uint64, tag string) error {
+	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("serve: compact segment: %w", err)
+		return fmt.Errorf("serve: write segment: %w", err)
 	}
 	w := bufio.NewWriter(f)
 	writeSegHeader(w, s.meta)
@@ -266,31 +420,68 @@ func (s *DiskStore[A]) compact(live []liveEntry[A], gen uint64, tag string) erro
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
-		return fmt.Errorf("serve: compact segment: %w", err)
+		return fmt.Errorf("serve: write segment: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("serve: compact segment: %w", err)
+		return fmt.Errorf("serve: write segment: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("serve: compact segment: %w", err)
+		return fmt.Errorf("serve: write segment: %w", err)
 	}
-	if err := os.Rename(tmp, s.path); err != nil {
-		return fmt.Errorf("serve: compact segment: %w", err)
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: publish segment: %w", err)
 	}
+	// Make the rename itself durable before the caller acts on it (the
+	// merger deletes the sealed inputs next): POSIX does not order a
+	// rename against later unlinks across a power cut, and a persisted
+	// unlink with a lost rename would drop those records from every
+	// surviving copy.
+	syncDir(s.dir)
 	return nil
 }
 
-// Get serves from the in-memory index; the segment is write-only between
+// syncDir fsyncs the directory, ordering just-performed renames/creates
+// durably before whatever follows; best-effort where directory fsync is
+// unsupported.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	d.Sync()
+}
+
+// startActiveLocked creates a fresh active segment: header plus a
+// generation record re-declaring the current generation and tag, so
+// invalidation survives a restart even after every older segment has been
+// merged away. Called with s.mu held.
+func (s *DiskStore[A]) startActiveLocked() error {
+	f, err := os.Create(s.activePath())
+	if err != nil {
+		return fmt.Errorf("serve: create active segment: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	writeSegHeader(s.w, s.meta)
+	if err := writeRecord(s.w, encodeGenPayload(s.gen.Load(), s.tag)); err != nil {
+		return fmt.Errorf("serve: start active segment: %w", err)
+	}
+	s.appended = 0
+	return nil
+}
+
+// Get serves from the in-memory index; the segments are write-only between
 // opens.
 func (s *DiskStore[A]) Get(key string) (Entry[A], bool) { return s.mem.Get(key) }
 
-// Put makes the entry resident and appends it to the segment. Disk failures
-// are sticky and surfaced by Flush/Close; the memory path keeps serving. An
-// entry whose value the codec cannot encode (or whose record would exceed
-// the reader's size bound) is a per-value problem, not a store failure: it
-// stays memory-only — losing one entry's restart survival — and persistence
-// continues for everything else.
+// Put makes the entry resident and appends it to the active segment. Disk
+// failures are sticky and surfaced by Flush/Close; the memory path keeps
+// serving. An entry whose value the codec cannot encode (or whose record
+// would exceed the reader's size bound) is a per-value problem, not a
+// store failure: it stays memory-only — losing one entry's restart
+// survival — and persistence continues for everything else.
 func (s *DiskStore[A]) Put(key string, e Entry[A]) {
 	s.mem.Put(key, e)
 	val, err := s.codec.Encode(e.Val)
@@ -301,17 +492,51 @@ func (s *DiskStore[A]) Put(key string, e Entry[A]) {
 	s.append(encodeEntryPayload(key, val, e.Gen, e.At.UnixNano(), e.OK))
 }
 
+// Delete removes the resident entry (a TTL-expired read purges itself via
+// the runtime); the disk copy stops replaying at the next merge or open —
+// superseded, dead-generation and TTL-dead records never survive either.
+func (s *DiskStore[A]) Delete(key string) { s.mem.Delete(key) }
+
 // Len reports in-memory resident entries.
 func (s *DiskStore[A]) Len() int { return s.mem.Len() }
 
-// Evictions counts memory-index evictions; evicted entries stay on disk
-// until the next compaction.
+// Evictions counts memory-index evictions (capacity displacement plus
+// TTL-expired purges); evicted entries stay on disk until the next merge.
 func (s *DiskStore[A]) Evictions() uint64 { return s.mem.Evictions() }
 
 // EncodeDrops counts entries kept memory-only because their value was
 // unencodable or their record oversized — answers that will not survive a
 // restart. Surfaced as kbqa_cache_persist_dropped_total.
 func (s *DiskStore[A]) EncodeDrops() uint64 { return s.encodeDrops.Load() }
+
+// PersistStats is a point-in-time view of the persistence machinery,
+// surfaced by Runtime.Metrics as the kbqa_cache_segment_rotations_total /
+// kbqa_cache_compactions_total / kbqa_cache_sealed_bytes /
+// kbqa_cache_sync_age_seconds metrics.
+type PersistStats struct {
+	// Rotations counts active-segment rotations: each sealed the segment
+	// in O(1) and handed it to the background merger.
+	Rotations uint64
+	// Compactions counts completed compaction passes — background merges
+	// plus the boot-time compaction.
+	Compactions uint64
+	// SealedBytes is the bytes sitting in sealed segments awaiting merge.
+	SealedBytes int64
+	// SyncAge is the time since the last durability point (periodic sync,
+	// Flush, or a merge publish); with SyncEvery set it stays around that
+	// period.
+	SyncAge time.Duration
+}
+
+// PersistStats reports the rotation/merge/sync counters.
+func (s *DiskStore[A]) PersistStats() PersistStats {
+	return PersistStats{
+		Rotations:   s.rotations.Load(),
+		Compactions: s.compactions.Load(),
+		SealedBytes: s.sealedBytes.Load(),
+		SyncAge:     time.Since(time.Unix(0, s.lastSync.Load())),
+	}
+}
 
 // Generation returns the last persisted model generation.
 func (s *DiskStore[A]) Generation() uint64 { return s.gen.Load() }
@@ -321,9 +546,9 @@ func (s *DiskStore[A]) Generation() uint64 { return s.gen.Load() }
 // carries the current model tag (SetModelTag), binding the new generation
 // to the model whose answers it will hold. The stored generation only
 // moves forward: when two retrain hooks race, the one carrying the older
-// number is already superseded and must neither regress the counter (an
-// online compaction filtering on it would resurrect invalidated entries
-// as the durable live set) nor append its stale record.
+// number is already superseded and must neither regress the counter (a
+// merge filtering on it would resurrect invalidated entries as the durable
+// live set) nor append its stale record.
 func (s *DiskStore[A]) SetGeneration(gen uint64) {
 	for {
 		cur := s.gen.Load()
@@ -342,19 +567,19 @@ func (s *DiskStore[A]) SetGeneration(gen uint64) {
 
 // SetModelTag updates the model-content tag recorded by subsequent
 // generation bumps. Callers swapping models (Learn/LoadModel) set the new
-// model's tag before bumping the generation, so the segment always knows
-// which model computed the current generation's answers — and a later open
-// under a different model refuses to serve them.
+// model's tag before bumping the generation, so the log always knows which
+// model computed the current generation's answers — and a later open under
+// a different model refuses to serve them.
 func (s *DiskStore[A]) SetModelTag(tag string) {
 	s.mu.Lock()
 	s.tag = tag
 	s.mu.Unlock()
 }
 
-// append frames and buffers one record, triggering an online compaction
-// once enough bytes have accumulated; I/O errors are sticky. An oversized
-// payload is skipped instead of written: readRecord would reject it as
-// corrupt at the next open and drop everything after it with it.
+// append frames and buffers one record, rotating the active segment once
+// the threshold is crossed; I/O errors are sticky. An oversized payload is
+// skipped instead of written: readRecord would reject it as corrupt at the
+// next open and drop everything after it with it.
 func (s *DiskStore[A]) append(payload []byte) {
 	if len(payload) > maxRecordLen {
 		s.encodeDrops.Add(1)
@@ -370,85 +595,343 @@ func (s *DiskStore[A]) append(payload []byte) {
 		return
 	}
 	s.appended += int64(8 + len(payload))
-	if s.compactEvery > 0 && s.appended >= s.compactEvery {
-		s.compactOnlineLocked()
+	if s.rotateEvery > 0 && s.appended >= s.rotateEvery {
+		s.rotateLocked()
 	}
 }
 
-// compactOnlineLocked rewrites the segment from the in-memory index —
-// current-generation entries only, least recently used first — so a
-// long-running server's segment stays proportional to its resident set
-// instead of growing with every TTL recompute and retrain. Entries already
-// evicted from memory are dropped (they would only have been resurrected at
-// the next open). Called with s.mu held.
-func (s *DiskStore[A]) compactOnlineLocked() {
+// rotateLocked seals the active segment and starts a fresh one — a flush,
+// a rename, and a file create, O(1) regardless of how much live data the
+// store holds. This is what keeps compaction off the request path: the
+// sealed segment is handed to the background merger, and the unlucky Put
+// that crosses the threshold pays metadata operations, not a rewrite+fsync
+// of the live set. Called with s.mu held.
+func (s *DiskStore[A]) rotateLocked() {
 	if err := s.w.Flush(); err != nil {
-		s.writeErr = fmt.Errorf("serve: flush before compaction: %w", err)
+		s.writeErr = fmt.Errorf("serve: flush before rotation: %w", err)
 		return
 	}
-	s.f.Close()
-	gen := s.gen.Load()
-	var live []liveEntry[A]
-	for _, le := range s.mem.entries() {
-		if le.e.Gen == gen {
-			live = append(live, le)
-		}
+	var size int64
+	if fi, err := s.f.Stat(); err == nil {
+		size = fi.Size()
 	}
-	if err := s.compact(live, gen, s.tag); err != nil {
+	if err := s.f.Close(); err != nil {
+		s.writeErr = fmt.Errorf("serve: seal active segment: %w", err)
+		return
+	}
+	sealedPath := filepath.Join(s.dir, sealedName(s.seq))
+	if err := os.Rename(s.activePath(), sealedPath); err != nil {
+		s.writeErr = fmt.Errorf("serve: seal active segment: %w", err)
+		return
+	}
+	s.seq++
+	s.sealed = append(s.sealed, sealedSeg{path: sealedPath, size: size})
+	s.sealedBytes.Add(size)
+	s.rotations.Add(1)
+	if err := s.startActiveLocked(); err != nil {
 		s.writeErr = err
 		return
 	}
-	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		s.writeErr = fmt.Errorf("serve: reopen segment after compaction: %w", err)
+	// The rename and the fresh active's directory entry still need a
+	// directory fsync before any data fsync may count as durable — but
+	// not here, on the request path: mark the directory dirty and let the
+	// next durability point (periodic sync, Flush, Close) pay it. Until
+	// then nothing has been promised durable, so nothing can be lost.
+	s.dirDirty.Store(true)
+	select {
+	case s.mergeCh <- struct{}{}:
+	default: // a merge signal is already pending; it will see this segment
+	}
+}
+
+// merger is the single background maintenance goroutine: it compacts
+// sealed segments into the base off the request path, and drives the
+// periodic fsync that gives the store its time-based durability bound.
+// It exits when Close signals stopMerger.
+func (s *DiskStore[A]) merger(syncEvery time.Duration) {
+	defer close(s.mergerDone)
+	var tickC <-chan time.Time
+	if syncEvery > 0 {
+		t := time.NewTicker(syncEvery)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-s.stopMerger:
+			return
+		case <-s.mergeCh:
+			s.mergeSealed()
+		case <-tickC:
+			s.syncActive()
+		}
+	}
+}
+
+// mergeSealed folds every sealed segment present at call time, plus the
+// current base, into a fresh dense base: last write per key, current
+// generation only, TTL-live only. It publishes with an atomic rename and
+// only then deletes the consumed sealed files, oldest first — so a crash
+// at any point leaves a directory whose replay equals the pre- or
+// post-merge state. (Oldest-first matters: any sealed file surviving its
+// own merge is then among the newest consumed, and replaying it after the
+// base is idempotent — its records are exactly the ones that won. Deleting
+// newest-first could leave an older file to clobber the base's newer
+// values at replay.)
+func (s *DiskStore[A]) mergeSealed() {
+	s.mu.Lock()
+	pending := append([]sealedSeg(nil), s.sealed...)
+	tag := s.tag
+	s.mu.Unlock()
+	if len(pending) == 0 {
 		return
 	}
-	s.f = f
-	s.w = bufio.NewWriter(f)
-	s.appended = 0
+	// No pre-sync of the sealed inputs: the merge reads whatever the OS
+	// holds (page cache included), and the output base is fsynced before
+	// the inputs are deleted — the base is the durable copy. The SyncEvery
+	// durability bound for still-unmerged sealed bytes is syncActive's job.
+	var (
+		order  []liveEntry[A]
+		index  = make(map[string]int)
+		gen    uint64
+		genTag string
+	)
+	files := make([]string, 0, 1+len(pending))
+	files = append(files, s.basePath())
+	for _, seg := range pending {
+		files = append(files, seg.path)
+	}
+	for _, path := range files {
+		if err := s.replayFile(path, &order, index, &gen, &genTag); err != nil {
+			s.setWriteErr(err)
+			return
+		}
+	}
+	// Filter on the store's current generation, not the highest one these
+	// files mention: a bump whose record went to the active segment has
+	// already made older entries unreachable. Entries no longer resident
+	// in memory are dropped too — that is what bounds the base to the
+	// in-memory working set instead of every key ever asked (the old
+	// online compaction's guarantee): without it, a TTL-less server with
+	// a high-cardinality question stream grows the base, every merge, and
+	// every boot replay without bound.
+	cur := s.gen.Load()
+	now := time.Now()
+	live := make([]liveEntry[A], 0, len(order))
+	for _, le := range order {
+		if le.e.Gen == cur && s.alive(le.e, now) && s.mem.has(le.key) {
+			live = append(live, le)
+		}
+	}
+	if err := s.writeSegment(s.basePath(), live, cur, tag); err != nil {
+		s.setWriteErr(err)
+		return
+	}
+	removed, freed := 0, int64(0)
+	for _, seg := range pending { // oldest first — see above
+		if err := os.Remove(seg.path); err != nil {
+			break // keep the newest-survive invariant; retried next merge
+		}
+		removed++
+		freed += seg.size
+	}
+	s.mu.Lock()
+	s.sealed = s.sealed[removed:]
+	s.mu.Unlock()
+	s.sealedBytes.Add(-freed)
+	s.compactions.Add(1)
+	s.lastSync.Store(time.Now().UnixNano())
 }
 
-// Flush pushes buffered records through to the OS and syncs the file,
-// returning the first write error seen so far.
-func (s *DiskStore[A]) Flush() error {
+// syncActive is the periodic durability point: one syncPoint pass,
+// retried when a rotation seals the active file mid-sync (the bytes moved
+// to a sealed segment the next pass covers). Sealed-sync failures are
+// recorded sticky but don't stop the tick — the disk may recover.
+func (s *DiskStore[A]) syncActive() {
+	for {
+		retry, _ := s.syncPoint(false)
+		if !retry {
+			return
+		}
+	}
+}
+
+// syncPoint is the shared durability-point sequence behind the periodic
+// sync and Flush: flush the buffered writer (under the mutex — a memcpy),
+// then fsync un-durable sealed segments, the active file, and any
+// directory metadata deferred by rotations — all outside the mutex, so
+// appends never wait out a disk sync. Covering unsynced sealed segments
+// matters: rotation does not fsync, and the merger may lag, so without it
+// a just-sealed segment could sit un-durable past the SyncEvery bound.
+//
+// retry reports that a rotation closed the active file mid-sync — benign,
+// the bytes now live in a sealed segment a subsequent pass covers. strict
+// makes a sealed-sync failure abort with the error (Flush's contract);
+// otherwise it is recorded sticky and the pass continues.
+func (s *DiskStore[A]) syncPoint(strict bool) (retry bool, err error) {
+	s.mu.Lock()
+	if s.closed || s.writeErr != nil {
+		err := s.writeErr
+		s.mu.Unlock()
+		return false, err
+	}
+	if werr := s.w.Flush(); werr != nil {
+		s.writeErr = fmt.Errorf("serve: flush segment: %w", werr)
+		err := s.writeErr
+		s.mu.Unlock()
+		return false, err
+	}
+	f := s.f
+	var unsynced []string
+	for i := range s.sealed {
+		if !s.sealed[i].synced {
+			unsynced = append(unsynced, s.sealed[i].path)
+		}
+	}
+	s.mu.Unlock()
+
+	var synced []string
+	for _, p := range unsynced {
+		serr := syncFile(p)
+		if serr == nil {
+			synced = append(synced, p)
+			continue
+		}
+		s.setWriteErr(fmt.Errorf("serve: sync sealed segment: %w", serr))
+		if strict {
+			if len(synced) > 0 {
+				s.markSealedSynced(synced)
+			}
+			return false, serr
+		}
+	}
+	if len(synced) > 0 {
+		s.markSealedSynced(synced)
+	}
+	switch serr := f.Sync(); {
+	case serr == nil:
+		s.syncDirIfDirty()
+		s.lastSync.Store(time.Now().UnixNano())
+		return false, nil
+	case errors.Is(serr, os.ErrClosed):
+		return true, nil
+	default:
+		// A failing disk must not break the durability contract silently:
+		// record it so Flush/Close surface the failure.
+		s.setWriteErr(fmt.Errorf("serve: sync segment: %w", serr))
+		return false, serr
+	}
+}
+
+// syncDirIfDirty pays the directory fsync deferred by rotations (renames
+// and creates since the last one), so a durability point covers metadata
+// too. A rotation racing the fsync re-sets the flag — at worst one spare
+// directory sync next time, never a missed one.
+func (s *DiskStore[A]) syncDirIfDirty() {
+	if s.dirDirty.Swap(false) {
+		syncDir(s.dir)
+	}
+}
+
+// markSealedSynced flags the given sealed paths as durable; matched by
+// path because the merger may have pruned the list meanwhile.
+func (s *DiskStore[A]) markSealedSynced(paths []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.flushLocked()
+	for i := range s.sealed {
+		for _, p := range paths {
+			if s.sealed[i].path == p {
+				s.sealed[i].synced = true
+			}
+		}
+	}
 }
 
-func (s *DiskStore[A]) flushLocked() error {
-	if s.closed {
-		return s.writeErr
+// setWriteErr records the first background failure; surfaced by Flush and
+// Close like append-path errors.
+func (s *DiskStore[A]) setWriteErr(err error) {
+	s.mu.Lock()
+	if s.writeErr == nil {
+		s.writeErr = err
 	}
+	s.mu.Unlock()
+}
+
+// syncFile fsyncs path (a read-only descriptor syncs fine). A missing
+// file is success: the merger deleted it, which means its records are
+// already durable in the published base.
+func syncFile(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Flush pushes buffered records through to the OS and syncs every segment
+// holding un-durable appended data (active plus unmerged sealed),
+// returning the first write error seen so far. The fsyncs run outside the
+// append mutex — concurrent Puts never wait out a disk sync behind a
+// Flush; only the buffered-writer flush (a memcpy) holds the lock.
+func (s *DiskStore[A]) Flush() error {
+	for {
+		retry, err := s.syncPoint(true)
+		if retry {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		err = s.writeErr
+		s.mu.Unlock()
+		return err
+	}
+}
+
+// Close stops and drains the background merger (a merge already underway
+// completes), folds any remaining sealed segments into the base, then
+// flushes, syncs and closes the active segment and releases the directory
+// lock. Idempotent. Further Puts are silently discarded (memory only).
+func (s *DiskStore[A]) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		err := s.writeErr
+		s.mu.Unlock()
+		return err
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.stopMerger)
+	<-s.mergerDone
+	s.mergeSealed() // leave a dense directory; crash-safe if it fails
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.w.Flush(); err != nil && s.writeErr == nil {
 		s.writeErr = fmt.Errorf("serve: flush segment: %w", err)
 	}
 	if err := s.f.Sync(); err != nil && s.writeErr == nil {
 		s.writeErr = fmt.Errorf("serve: sync segment: %w", err)
 	}
+	if err := s.f.Close(); err != nil && s.writeErr == nil {
+		s.writeErr = fmt.Errorf("serve: close segment: %w", err)
+	}
+	s.syncDirIfDirty()
+	if s.lock != nil {
+		s.lock.Close() // releases the flock
+	}
 	return s.writeErr
-}
-
-// Close flushes and closes the segment; idempotent. Further Puts are
-// silently discarded (memory only).
-func (s *DiskStore[A]) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return s.writeErr
-	}
-	err := s.flushLocked()
-	if cerr := s.f.Close(); cerr != nil && err == nil {
-		err = fmt.Errorf("serve: close segment: %w", cerr)
-		s.writeErr = err
-	}
-	s.closed = true
-	return err
 }
 
 // --- segment codec -------------------------------------------------------
 //
-// File layout:
+// File layout (identical for base, sealed and active segments):
 //
 //	header  := magic("KBQASEG1") u32(metaLen) meta
 //	record  := u32(payloadLen) u32(crc32-IEEE(payload)) payload
@@ -456,7 +939,8 @@ func (s *DiskStore[A]) Close() error {
 //	         | recEntry u64(gen) i64(atUnixNano) u8(ok) u32(keyLen) key val
 //
 // All integers little-endian. The CRC covers the payload only; a record
-// whose length or checksum doesn't hold terminates the valid prefix.
+// whose length or checksum doesn't hold terminates that file's valid
+// prefix.
 
 func writeSegHeader(w io.Writer, meta string) {
 	io.WriteString(w, segMagic)

@@ -51,7 +51,7 @@ func TestDiskStoreLastWriteWinsAndCompacts(t *testing.T) {
 		s.Put("k", Entry[string]{Val: string(rune('a' + i)), OK: true})
 	}
 	s.Close()
-	sizeBefore := segSize(t, dir)
+	sizeBefore := storeSize(t, dir)
 
 	r := openTestStore(t, dir, "m")
 	if e, hit := r.Get("k"); !hit || e.Val != "c" {
@@ -61,8 +61,8 @@ func TestDiskStoreLastWriteWinsAndCompacts(t *testing.T) {
 		t.Errorf("Len = %d, want 1", n)
 	}
 	r.Close()
-	if sizeAfter := segSize(t, dir); sizeAfter >= sizeBefore {
-		t.Errorf("compaction did not shrink the segment: %d -> %d", sizeBefore, sizeAfter)
+	if sizeAfter := storeSize(t, dir); sizeAfter >= sizeBefore {
+		t.Errorf("boot compaction did not shrink the log: %d -> %d", sizeBefore, sizeAfter)
 	}
 }
 
@@ -335,10 +335,10 @@ func TestDiskStoreSetGenerationNeverRegresses(t *testing.T) {
 	}
 }
 
-// TestDiskStoreOnlineCompactionBoundsSegment: churning one key must not
-// grow the segment without bound — the online compaction rewrites it from
-// the resident set once enough bytes accumulate.
-func TestDiskStoreOnlineCompactionBoundsSegment(t *testing.T) {
+// TestDiskStoreRotationBoundsSegment: churning one key must not grow the
+// log without bound — the active segment rotates every CompactEvery bytes
+// and the background merger folds the sealed segments into a dense base.
+func TestDiskStoreRotationBoundsSegment(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenDiskStore[string](dir, JSONCodec[string]{}, DiskOptions{CompactEvery: 4096})
 	if err != nil {
@@ -348,20 +348,24 @@ func TestDiskStoreOnlineCompactionBoundsSegment(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		s.Put("hot key", Entry[string]{Val: val, OK: true})
 	}
-	if err := s.Flush(); err != nil {
-		t.Fatal(err)
+	st := s.PersistStats()
+	if st.Rotations == 0 {
+		t.Fatalf("~140KB of appends against a 4KB threshold never rotated: %+v", st)
 	}
-	// ~1000 × ~140B of appends; without online compaction the segment
-	// would be ~140KB. With it, at most one compaction budget plus slack.
-	if size := segSize(t, dir); size > 3*4096 {
-		t.Errorf("segment = %dB after churn, want bounded by the compaction budget", size)
+	// The merger drains the sealed backlog without any explicit flush.
+	waitFor(t, time.Second, func() bool { return s.PersistStats().SealedBytes == 0 })
+	if size := storeSize(t, dir); size > 3*4096 {
+		t.Errorf("log = %dB after churn and merge, want bounded by the rotation budget", size)
+	}
+	if st := s.PersistStats(); st.Compactions < 2 { // boot + at least one merge
+		t.Errorf("compactions = %d, want the background merger to have run", st.Compactions)
 	}
 	s.Close()
 
 	r := openTestStore(t, dir, "")
 	defer r.Close()
 	if e, hit := r.Get("hot key"); !hit || e.Val != val {
-		t.Errorf("churned key lost across compactions: hit=%v", hit)
+		t.Errorf("churned key lost across rotations and merges: hit=%v", hit)
 	}
 	if n := r.Len(); n != 1 {
 		t.Errorf("Len = %d, want 1", n)
@@ -470,13 +474,38 @@ func FuzzSegmentRoundTrip(f *testing.F) {
 	})
 }
 
-func segSize(t *testing.T, dir string) int64 {
+// storeSize totals the bytes across every segment file in the log (base,
+// sealed, active).
+func storeSize(t testing.TB, dir string) int64 {
 	t.Helper()
-	fi, err := os.Stat(filepath.Join(dir, segName))
+	ents, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fi.Size()
+	var total int64
+	for _, de := range ents {
+		if de.Name() == lockName {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func writeSeg(t *testing.T, dir string, b []byte) {

@@ -31,14 +31,24 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		fmt.Fprintf(&b, "# HELP kbqa_%s %s\n# TYPE kbqa_%s gauge\nkbqa_%s %d\n", name, help, name, name, v)
 	}
 
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP kbqa_%s %s\n# TYPE kbqa_%s gauge\nkbqa_%s %s\n", name, help, name, name, formatSeconds(v))
+	}
+
 	counter("requests_total", "Requests that reached the cache/engine path.", s.Served)
 	counter("cache_hits_total", "Requests answered straight from the answer cache.", s.CacheHits)
 	counter("cache_misses_total", "Requests that had to consult the flight group or engine.", s.CacheMisses)
 	counter("cache_persist_hits_total", "Cache hits served by entries replayed from the persistent store (answers surviving a restart).", s.CachePersistHits)
 	counter("cache_persist_dropped_total", "Entries kept memory-only by the persistent store (unencodable or oversized); they will not survive a restart.", s.CachePersistDropped)
-	counter("cache_evictions_total", "Answers displaced from the cache by capacity pressure.", s.CacheEvictions)
+	counter("cache_evictions_total", "Answers removed from the cache: displaced by capacity pressure or purged on a TTL-expired read.", s.CacheEvictions)
 	gauge("cache_entries", "Resident answer-cache entries.", int64(s.CacheEntries))
 	gauge("cache_generation", "Model generation keying new cache entries; bumps on Learn/LoadModel.", int64(s.Generation))
+	if s.CachePersistent {
+		counter("cache_segment_rotations_total", "Active-segment rotations: each sealed the segment in O(1) and handed it to the background merger.", s.CacheSegmentRotations)
+		counter("cache_compactions_total", "Completed compaction passes (background merges plus the boot-time compaction).", s.CacheCompactions)
+		gauge("cache_sealed_bytes", "Bytes in sealed segments awaiting background merge.", s.CacheSealedBytes)
+		gaugeF("cache_sync_age_seconds", "Seconds since the persistent cache's last durability point.", s.CacheSyncAgeSeconds)
+	}
 	counter("deduped_total", "Cache misses resolved by joining an in-flight leader.", s.Deduped)
 	counter("rejected_total", "Requests that failed on a non-panic serving error (admission/flight deadline, or engine aborted by context).", s.Rejected)
 	counter("ratelimit_rejected_total", "Requests refused by the per-client rate limiter before entering the serving pipeline.", s.RateLimitRejected)

@@ -285,12 +285,21 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 	key := cacheKey(gen, r.normalize(question), fingerprint)
 	r.metrics.served.Add(1)
 	if r.cache != nil {
-		if e, hit := r.cache.Get(key); hit && r.fresh(e) {
-			r.metrics.hits.Add(1)
-			if e.Persisted {
-				r.metrics.persistHits.Add(1)
+		if e, hit := r.cache.Get(key); hit {
+			if r.fresh(e) {
+				r.metrics.hits.Add(1)
+				if e.Persisted {
+					r.metrics.persistHits.Add(1)
+				}
+				return e.Val, e.OK, nil
 			}
-			return e.Val, e.OK, nil
+			// Expired: free the slot now instead of letting the dead entry
+			// pin LRU capacity until ordinary eviction displaces it; the
+			// store counts the purge as an eviction. (A concurrent flight
+			// may have just refreshed the key, in which case this deletes
+			// a fresh entry — a spare recompute later, never a wrong
+			// answer.)
+			r.cache.Delete(key)
 		}
 	}
 	r.metrics.misses.Add(1)
@@ -449,6 +458,14 @@ func (r *Runtime[A]) Metrics() Snapshot {
 		s.CacheEntries = r.cache.Len()
 		if d, ok := r.cache.(interface{ EncodeDrops() uint64 }); ok {
 			s.CachePersistDropped = d.EncodeDrops()
+		}
+		if p, ok := r.cache.(interface{ PersistStats() PersistStats }); ok {
+			st := p.PersistStats()
+			s.CachePersistent = true
+			s.CacheSegmentRotations = st.Rotations
+			s.CacheCompactions = st.Compactions
+			s.CacheSealedBytes = st.SealedBytes
+			s.CacheSyncAgeSeconds = st.SyncAge.Seconds()
 		}
 	}
 	return s

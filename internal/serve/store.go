@@ -33,8 +33,12 @@ type Entry[A any] struct {
 type Store[A any] interface {
 	Get(key string) (Entry[A], bool)
 	Put(key string, e Entry[A])
+	// Delete removes a resident entry — the runtime purges TTL-expired
+	// entries on read so they stop pinning capacity. Deletes are counted
+	// in Evictions; deleting an absent key is a no-op.
+	Delete(key string)
 	// Len reports resident entries; Evictions counts entries displaced by
-	// capacity pressure.
+	// capacity pressure or purged by Delete.
 	Len() int
 	Evictions() uint64
 	// Flush forces buffered writes down to durable storage; a no-op for

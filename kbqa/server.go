@@ -35,17 +35,32 @@ type ServerOptions struct {
 	// default (4096); negative disables caching.
 	CacheEntries int
 	// CacheDir enables the persistent answer cache: answers and the model
-	// generation are appended to a checksummed segment file under the
+	// generation are appended to a checksummed segment log under the
 	// directory and replayed on the next boot, so a restarted server
 	// answers its hot set from disk without re-probing the engine. The
-	// directory is bound to the system that wrote it (flavor, sizes):
-	// opening it under a different system discards the segment instead of
-	// serving a foreign model's answers. Entries invalidated by
-	// Learn/LoadModel before a restart stay invalidated after it.
+	// active segment rotates once it crosses a size threshold and a
+	// background merger compacts sealed segments into a dense base, so
+	// maintenance never stalls the request path. The directory is bound to
+	// the system that wrote it (flavor, sizes): opening it under a
+	// different system discards the log instead of serving a foreign
+	// model's answers, and it is flock-guarded — a second server process
+	// pointed at the same directory fails fast instead of corrupting it.
+	// Entries invalidated by Learn/LoadModel before a restart stay
+	// invalidated after it.
 	CacheDir string
 	// CacheTTL expires cache entries: an entry older than CacheTTL is
-	// recomputed on next access. 0 means no expiry.
+	// recomputed on next access (and purged from memory on the expired
+	// read, so dead entries never pin cache capacity). The persistent
+	// cache applies the same cutoff as a liveness filter, so expired
+	// entries are dropped by background merges and boot replay instead of
+	// being rewritten forever. 0 means no expiry.
 	CacheTTL time.Duration
+	// CacheSyncEvery is the period of the persistent cache's background
+	// fsync: an answer is durable within CacheSyncEvery of being computed,
+	// without waiting for Flush or shutdown. 0 means the default (1s);
+	// negative disables periodic sync (durability points are then Flush,
+	// Close, and segment rotations/merges). Ignored without CacheDir.
+	CacheSyncEvery time.Duration
 	// MaxConcurrent bounds concurrent engine calls. 0 means
 	// 4×GOMAXPROCS; negative means unbounded.
 	MaxConcurrent int
@@ -119,11 +134,20 @@ func (s *System) Server(o ServerOptions) (*Server, error) {
 		if o.CacheEntries < 0 {
 			return nil, errors.New("kbqa: CacheDir requires caching enabled (CacheEntries >= 0)")
 		}
+		sync := o.CacheSyncEvery
+		if sync == 0 {
+			sync = time.Second
+		}
+		if sync < 0 {
+			sync = 0
+		}
 		ds, err := serve.OpenDiskStore[served](o.CacheDir, serve.JSONCodec[served]{}, serve.DiskOptions{
-			Shards:   o.CacheShards,
-			Entries:  o.CacheEntries,
-			Meta:     s.cacheMeta(),
-			ModelTag: s.modelTag(),
+			Shards:    o.CacheShards,
+			Entries:   o.CacheEntries,
+			Meta:      s.cacheMeta(),
+			ModelTag:  s.modelTag(),
+			TTL:       o.CacheTTL,
+			SyncEvery: sync,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("kbqa: open persistent answer cache: %w", err)
