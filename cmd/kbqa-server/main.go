@@ -15,7 +15,22 @@
 //	     histograms; ?format=prometheus (or Accept: text/plain) returns
 //	     the Prometheus text exposition
 //	GET  /stats                      -> system statistics
-//	GET  /health                     -> liveness probe
+//	GET  /health                     -> plain-text liveness probe (legacy)
+//	GET  /healthz                    -> JSON liveness: status, generation,
+//	     uptime
+//	GET  /readyz                     -> JSON readiness: 503 until the boot
+//	     sequence (replay, warm) completes, 200 after
+//	GET  /debug/traces               -> retained request traces, newest
+//	     first (see -trace-sample / -slow-query)
+//	GET  /debug/pprof/...            -> the Go runtime profiler
+//
+// Requests to /ask and /batch run under a trace when tracing is on
+// (-trace-sample > 0 or -slow-query > 0): the response carries the trace
+// ID in the X-Kbqa-Trace header (and trace_id in the JSON body), and
+// sampled or slow traces are retained for /debug/traces with nested
+// parse/match/probe, per-hop and per-shard spans. Logs are structured
+// JSON lines on stderr (-log-level selects the floor); every request is
+// access-logged with trace_id, client, generation, status and duration.
 //
 // With -cache-dir the answer cache persists across restarts (append-only
 // checksummed segment log: rotation + background merge keep compaction
@@ -46,13 +61,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -70,8 +87,11 @@ const maxBatchBodyBytes = 1 << 20
 const maxTopK = 32
 
 type server struct {
-	sys *kbqa.System
-	srv *kbqa.Server
+	sys   *kbqa.System
+	srv   *kbqa.Server
+	log   *kbqa.Logger // nil discards
+	start time.Time
+	ready atomic.Bool // set once the boot sequence (replay, warm) completes
 }
 
 func newServer(sys *kbqa.System, o kbqa.ServerOptions) (*server, error) {
@@ -79,7 +99,7 @@ func newServer(sys *kbqa.System, o kbqa.ServerOptions) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{sys: sys, srv: srv}, nil
+	return &server{sys: sys, srv: srv, log: o.Logger, start: time.Now()}, nil
 }
 
 type askResponse struct {
@@ -92,8 +112,14 @@ type askResponse struct {
 	Steps           []kbqa.Step           `json:"steps,omitempty"`
 	Variant         *kbqa.VariantAnswer   `json:"variant,omitempty"`
 	Interpretations []kbqa.Interpretation `json:"interpretations,omitempty"`
-	Error           string                `json:"error,omitempty"`
-	ErrorCode       string                `json:"error_code,omitempty"`
+	// TraceID echoes the request trace (also the X-Kbqa-Trace header);
+	// empty when tracing is off.
+	TraceID string `json:"trace_id,omitempty"`
+	// Timings attributes the latency of the computation that produced the
+	// result; a cache hit reports the original computation's.
+	Timings   *kbqa.QueryTimings `json:"timings,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	ErrorCode string             `json:"error_code,omitempty"`
 }
 
 // toAskResponse renders one Query outcome: a Result when err is nil, the
@@ -102,7 +128,9 @@ func toAskResponse(q string, res *kbqa.Result, err error) askResponse {
 	if err != nil {
 		return askResponse{Question: q, Error: err.Error(), ErrorCode: kbqa.ErrorCode(err)}
 	}
-	resp := askResponse{Question: q, Answered: true, Interpretations: res.Interpretations}
+	resp := askResponse{Question: q, Answered: true, Interpretations: res.Interpretations, TraceID: res.TraceID}
+	tm := res.Timings
+	resp.Timings = &tm
 	if res.Answer != nil {
 		resp.Answer = res.Answer.Value
 		resp.Values = res.Answer.Values
@@ -136,20 +164,20 @@ func parseTopK(raw string) ([]kbqa.QueryOption, error) {
 func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeJSONStatus(w, http.StatusBadRequest, askResponse{Error: `missing query parameter "q"`})
+		s.writeJSONStatus(w, http.StatusBadRequest, askResponse{Error: `missing query parameter "q"`})
 		return
 	}
 	opts, err := parseTopK(r.URL.Query().Get("topk"))
 	if err != nil {
-		writeJSONStatus(w, http.StatusBadRequest, askResponse{Question: q, Error: err.Error()})
+		s.writeJSONStatus(w, http.StatusBadRequest, askResponse{Question: q, Error: err.Error()})
 		return
 	}
 	res, err := s.srv.Query(r.Context(), q, opts...)
 	if err != nil {
-		writeJSONStatus(w, errStatus(err), toAskResponse(q, nil, err))
+		s.writeJSONStatus(w, errStatus(err), toAskResponse(q, nil, err))
 		return
 	}
-	writeJSON(w, toAskResponse(q, res, nil))
+	s.writeJSON(w, toAskResponse(q, res, nil))
 }
 
 type batchRequest struct {
@@ -166,7 +194,7 @@ type batchResponse struct {
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSONStatus(w, http.StatusMethodNotAllowed, askResponse{Error: "POST only"})
+		s.writeJSONStatus(w, http.StatusMethodNotAllowed, askResponse{Error: "POST only"})
 		return
 	}
 	var req batchRequest
@@ -174,19 +202,19 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			writeJSONStatus(w, http.StatusRequestEntityTooLarge,
+			s.writeJSONStatus(w, http.StatusRequestEntityTooLarge,
 				askResponse{Error: fmt.Sprintf("request body exceeds %d bytes", maxBatchBodyBytes)})
 			return
 		}
-		writeJSONStatus(w, http.StatusBadRequest, askResponse{Error: "bad request body: " + err.Error()})
+		s.writeJSONStatus(w, http.StatusBadRequest, askResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
 	if len(req.Questions) == 0 {
-		writeJSONStatus(w, http.StatusBadRequest, askResponse{Error: `empty "questions"`})
+		s.writeJSONStatus(w, http.StatusBadRequest, askResponse{Error: `empty "questions"`})
 		return
 	}
 	if len(req.Questions) > maxBatchSize {
-		writeJSONStatus(w, http.StatusBadRequest,
+		s.writeJSONStatus(w, http.StatusBadRequest,
 			askResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Questions), maxBatchSize)})
 		return
 	}
@@ -221,10 +249,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// same way /ask does; partial failures and unanswerable questions stay
 	// 200 with per-item error codes.
 	if infraErrored == len(items) {
-		writeJSONStatus(w, errStatus(firstInfraErr), resp)
+		s.writeJSONStatus(w, errStatus(firstInfraErr), resp)
 		return
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // handleMetrics serves the JSON snapshot by default and the Prometheus
@@ -236,15 +264,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if format == "prometheus" || (format == "" && strings.Contains(accept, "text/plain")) {
 		w.Header().Set("Content-Type", kbqa.PrometheusContentType)
 		if err := s.srv.WriteMetricsPrometheus(w); err != nil {
-			log.Printf("kbqa-server: write prometheus metrics: %v", err)
+			s.log.Error("write prometheus metrics", kbqa.LogF("error", err))
 		}
 		return
 	}
-	writeJSON(w, s.srv.Metrics())
+	s.writeJSON(w, s.srv.Metrics())
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.sys.Stats())
+	s.writeJSON(w, s.sys.Stats())
 }
 
 // clientKey identifies the caller for rate limiting: the X-API-Key header
@@ -276,7 +304,7 @@ func (s *server) overQuota(w http.ResponseWriter, r *http.Request, n int) bool {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeJSONStatus(w, http.StatusTooManyRequests,
+	s.writeJSONStatus(w, http.StatusTooManyRequests,
 		askResponse{Error: "rate limit exceeded", ErrorCode: "rate_limited"})
 	return true
 }
@@ -296,15 +324,132 @@ func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// statusRecorder captures the status a handler writes so the access log
+// and trace can report it; 0 means the handler never called WriteHeader
+// (an implicit 200).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// traced wraps an answering handler with the request observability layer:
+// when tracing is on, the request runs under a root span named name
+// (method/path/client/question attributes, final status), the trace ID is
+// echoed as X-Kbqa-Trace before the handler writes, and the trace finishes
+// — and is retained if sampled or slow — when the handler returns. Every
+// request is also access-logged with request-scoped fields.
+func (s *server) traced(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, trace := s.srv.Tracer().Start(r.Context(), name)
+		if trace != nil {
+			root := trace.Root()
+			root.SetAttr("method", r.Method)
+			root.SetAttr("path", r.URL.Path)
+			root.SetAttr("client", clientKey(r))
+			if q := r.URL.Query().Get("q"); q != "" {
+				root.SetAttr("question", q)
+			}
+			w.Header().Set("X-Kbqa-Trace", trace.ID())
+			r = r.WithContext(ctx)
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if trace != nil {
+			trace.Root().SetInt("status", int64(status))
+			trace.Finish()
+		}
+		if s.log.Enabled(kbqa.LogInfo) {
+			s.log.Info("request",
+				kbqa.LogF("method", r.Method), kbqa.LogF("path", r.URL.Path),
+				kbqa.LogF("status", status),
+				kbqa.LogF("duration_ms", float64(time.Since(start))/float64(time.Millisecond)),
+				kbqa.LogF("client", clientKey(r)),
+				kbqa.LogF("generation", s.srv.Generation()),
+				kbqa.LogF("trace_id", trace.ID()))
+		}
+	}
+}
+
+// healthResponse is the /healthz and /readyz body.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	Generation    uint64  `json:"generation"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *server) health(status string) healthResponse {
+	return healthResponse{
+		Status:        status,
+		Generation:    s.srv.Generation(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+// handleHealthz is the liveness probe: the process is up and can marshal a
+// response. It never reports anything but ok — readiness is /readyz's job.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, s.health("ok"))
+}
+
+// handleReadyz is the readiness probe: 503 until the boot sequence
+// (persistent-cache replay, corpus warming) completes and the listener is
+// about to accept traffic, 200 after. Load balancers gate on this so a
+// warming server takes no traffic it would answer slowly.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		s.writeJSONStatus(w, http.StatusServiceUnavailable, s.health("starting"))
+		return
+	}
+	s.writeJSON(w, s.health("ready"))
+}
+
+// tracesResponse is the /debug/traces body.
+type tracesResponse struct {
+	Count  int                  `json:"count"`
+	Traces []kbqa.TraceSnapshot `json:"traces"`
+}
+
+// handleTraces serves the retained request traces, newest first. Empty
+// (not an error) when tracing is off.
+func (s *server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	traces := s.srv.Traces()
+	if traces == nil {
+		traces = []kbqa.TraceSnapshot{}
+	}
+	s.writeJSON(w, tracesResponse{Count: len(traces), Traces: traces})
+}
+
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ask", s.limited(s.handleAsk))
-	mux.HandleFunc("/batch", s.handleBatch) // charges per question, see overQuota
+	mux.HandleFunc("/ask", s.traced("http.ask", s.limited(s.handleAsk)))
+	mux.HandleFunc("/batch", s.traced("http.batch", s.handleBatch)) // charges per question, see overQuota
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	// Explicit pprof routes: the debug mux must work without importing
+	// net/http/pprof's DefaultServeMux side effects.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -326,15 +471,15 @@ func errStatus(err error) int {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	writeJSONStatus(w, http.StatusOK, v)
+func (s *server) writeJSON(w http.ResponseWriter, v interface{}) {
+	s.writeJSONStatus(w, http.StatusOK, v)
 }
 
-func writeJSONStatus(w http.ResponseWriter, status int, v interface{}) {
+func (s *server) writeJSONStatus(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("kbqa-server: encode response: %v", err)
+		s.log.Error("encode response", kbqa.LogF("error", err))
 	}
 }
 
@@ -352,53 +497,71 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 0, "per-client burst allowance (0 = ceil of -rate-limit)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent engine calls (0 = 4×GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "RDF store subject-hash shards (0 = default, 1 = unsharded)")
+	traceSample := flag.Float64("trace-sample", 0, "probability [0,1] that a request trace is retained for /debug/traces")
+	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "always capture and log traces of requests at or above this duration (0 = off)")
+	traceBuffer := flag.Int("trace-buffer", 0, "retained trace ring size (0 = default 128)")
+	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn, or error")
 	flag.Parse()
 
-	log.Printf("building %s world...", *flavor)
+	logger := kbqa.NewLogger(os.Stderr, kbqa.ParseLogLevel(*logLevel))
+	fatal := func(msg string, fields ...kbqa.LogField) {
+		logger.Error(msg, fields...)
+		os.Exit(1)
+	}
+
+	logger.Info("building world", kbqa.LogF("flavor", *flavor), kbqa.LogF("seed", *seed))
 	sys, err := kbqa.Build(kbqa.Options{Flavor: *flavor, Seed: *seed, Shards: *shards})
 	if err != nil {
-		log.Fatalf("kbqa-server: %v", err)
+		fatal("build world", kbqa.LogF("error", err))
 	}
 	st := sys.Stats()
-	log.Printf("ready: %d templates over %d predicates", st.Templates, st.Intents)
+	logger.Info("world ready", kbqa.LogF("templates", st.Templates), kbqa.LogF("predicates", st.Intents))
 
 	s, err := newServer(sys, kbqa.ServerOptions{
-		CacheEntries:   *cacheEntries,
-		CacheDir:       *cacheDir,
-		CacheTTL:       *cacheTTL,
-		CacheSyncEvery: *cacheSync,
-		MaxConcurrent:  *maxConcurrent,
-		Timeout:        *timeout,
-		RateLimit:      *rateLimit,
-		RateBurst:      *rateBurst,
+		CacheEntries:       *cacheEntries,
+		CacheDir:           *cacheDir,
+		CacheTTL:           *cacheTTL,
+		CacheSyncEvery:     *cacheSync,
+		MaxConcurrent:      *maxConcurrent,
+		Timeout:            *timeout,
+		RateLimit:          *rateLimit,
+		RateBurst:          *rateBurst,
+		TraceSampleRate:    *traceSample,
+		SlowQueryThreshold: *slowQuery,
+		TraceBuffer:        *traceBuffer,
+		Logger:             logger,
 	})
 	if err != nil {
-		log.Fatalf("kbqa-server: %v", err)
+		fatal("open serving runtime", kbqa.LogF("error", err))
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	if *cacheDir != "" {
 		m := s.srv.Metrics()
-		log.Printf("persistent cache %s: %d entries replayed, generation %d",
-			*cacheDir, m.CacheEntries, m.Generation)
+		logger.Info("persistent cache replayed", kbqa.LogF("dir", *cacheDir),
+			kbqa.LogF("entries", m.CacheEntries), kbqa.LogF("generation", m.Generation))
 	}
 	if *warm > 0 {
 		if *cacheEntries < 0 {
-			log.Fatalf("kbqa-server: -warm needs a cache; remove -warm or enable caching (-cache >= 0)")
+			fatal("-warm needs a cache; remove -warm or enable caching (-cache >= 0)")
 		}
 		qs := sys.SampleQuestions(*warm)
 		start := time.Now()
 		// Under the signal context, SIGINT during a long warm aborts it
 		// instead of being deferred until after.
 		n := s.srv.WarmFromCorpus(ctx, qs)
-		log.Printf("warmed %d/%d corpus questions in %v", n, len(qs), time.Since(start).Round(time.Millisecond))
+		logger.Info("cache warmed", kbqa.LogF("warmed", n), kbqa.LogF("asked", len(qs)),
+			kbqa.LogF("duration", time.Since(start).Round(time.Millisecond)))
 		// Make the warm work durable now: a later startup failure
 		// (port in use, say) must not discard it.
 		if err := s.srv.Flush(); err != nil {
-			log.Printf("kbqa-server: flush warmed cache: %v", err)
+			logger.Warn("flush warmed cache", kbqa.LogF("error", err))
 		}
 	}
+	// The boot sequence is done; flip /readyz before the listener starts
+	// taking traffic.
+	s.ready.Store(true)
 
 	httpSrv := &http.Server{
 		Addr:         *addr,
@@ -409,29 +572,30 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		logger.Info("listening", kbqa.LogF("addr", *addr))
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
 		// Flush the cache (warm work included) before dying on a listen
-		// failure — log.Fatalf would skip the graceful path below.
+		// failure — exiting on the spot would skip the graceful path below.
 		s.srv.Close()
-		log.Fatalf("kbqa-server: %v", err)
+		fatal("serve", kbqa.LogF("error", err))
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down...")
+	logger.Info("shutting down")
+	s.ready.Store(false)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("kbqa-server: shutdown: %v", err)
+		logger.Error("shutdown", kbqa.LogF("error", err))
 	}
 	// Close drains in-flight queries, then flushes the persistent cache so
 	// the next boot replays everything this process answered.
 	if err := s.srv.Close(); err != nil {
-		log.Printf("kbqa-server: close answer cache: %v", err)
+		logger.Error("close answer cache", kbqa.LogF("error", err))
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/decompose"
 	"repro/internal/extract"
 	"repro/internal/learn"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/template"
 	"repro/internal/text"
@@ -280,9 +281,27 @@ func (e *Engine) AnswerTopKTimed(ctx context.Context, question string, k int) (A
 // answer is the shared implementation: tokenize and locate entity mentions
 // exactly once (the direct BFQ attempt and the decomposition fallback share
 // both), try the direct Eq (7) path, then fall back to decomposition.
+//
+// When the context carries a trace, the call runs under an "engine.answer"
+// span whose parse/match/probe stage children mirror the Timings laps
+// exactly — a captured trace's stage durations equal the Result's reported
+// Timings because both read the same accumulator.
 func (e *Engine) answer(ctx context.Context, question string, tm *Timings, k int) (Answer, []Ranked, error) {
 	if err := ctx.Err(); err != nil {
 		return Answer{}, nil, err
+	}
+	ctx, sp := obs.StartSpan(ctx, "engine.answer")
+	if sp != nil {
+		sp.SetAttr("question", question)
+		if tm == nil {
+			tm = new(Timings)
+		}
+		defer func() {
+			sp.Stage("parse", tm.Parse)
+			sp.Stage("match", tm.Match)
+			sp.Stage("probe", tm.Probe)
+			sp.End()
+		}()
 	}
 	parseStart := stampIf(tm)
 	qToks := text.Tokenize(question)
@@ -354,6 +373,11 @@ func (e *Engine) AnswerBFQ(question string) (Answer, bool) {
 // interpretations alongside the answer so chain execution can rank the
 // winning hop without re-probing.
 func (e *Engine) answerBFQ(ctx context.Context, question string, tm *Timings) (Answer, []interpretation, error) {
+	ctx, sp := obs.StartSpan(ctx, "engine.bfq")
+	if sp != nil {
+		sp.SetAttr("question", question)
+		defer sp.End()
+	}
 	parseStart := stampIf(tm)
 	qToks := text.Tokenize(question)
 	mentions := extract.FindMentions(e.KB, qToks)
@@ -546,6 +570,14 @@ func (e *Engine) interpretationsFrom(ctx context.Context, qToks []string, mentio
 		matchStart := stampIf(tm)
 		tmpls := template.DeriveAll(e.Taxonomy, qToks, m.Span, m.Surface)
 		tm.lapMatch(matchStart)
+		_, psp := obs.StartSpan(ctx, "engine.probe")
+		before := len(out)
+		if psp != nil {
+			psp.SetAttr("mention", m.Surface)
+			psp.SetInt("entities", int64(len(m.Entities)))
+			psp.SetInt("templates", int64(len(tmpls)))
+			e.annotateShards(psp, m.Entities)
+		}
 		probeStart := stampIf(tm)
 		for _, ent := range m.Entities {
 			for _, tw := range tmpls {
@@ -565,6 +597,7 @@ func (e *Engine) interpretationsFrom(ctx context.Context, qToks []string, mentio
 				for _, pathKey := range pathKeys {
 					if err := ctx.Err(); err != nil {
 						tm.lapProbe(probeStart)
+						psp.End()
 						return nil, sawMass, err
 					}
 					ppt := dist[pathKey]
@@ -590,8 +623,39 @@ func (e *Engine) interpretationsFrom(ctx context.Context, qToks []string, mentio
 			}
 		}
 		tm.lapProbe(probeStart)
+		if psp != nil {
+			psp.SetInt("candidates", int64(len(out)-before))
+			psp.End()
+		}
 	}
 	return out, sawMass, nil
+}
+
+// annotateShards attributes a probe span to the knowledge-base shards that
+// own the candidate entities, when the store is sharded. Each distinct
+// shard becomes a "probe.shard" child span so a trace shows exactly which
+// partitions one mention's probes touched.
+func (e *Engine) annotateShards(psp *obs.Span, entities []rdf.ID) {
+	sharded, ok := e.KB.(interface{ ShardOf(rdf.ID) int })
+	if !ok {
+		return
+	}
+	perShard := map[int]int64{}
+	order := make([]int, 0, 4)
+	for _, ent := range entities {
+		s := sharded.ShardOf(ent)
+		if _, seen := perShard[s]; !seen {
+			order = append(order, s)
+		}
+		perShard[s]++
+	}
+	sort.Ints(order)
+	for _, s := range order {
+		c := psp.Child("probe.shard")
+		c.SetInt("shard", int64(s))
+		c.SetInt("entities", perShard[s])
+		c.End()
+	}
 }
 
 // primitive is the δ oracle of Algorithm 2: a token span is a primitive BFQ
@@ -611,13 +675,20 @@ func (e *Engine) executeChain(ctx context.Context, dec decompose.Decomposition, 
 	if maxVals <= 0 {
 		maxVals = 8
 	}
-	first, firstCands, err := e.answerBFQ(ctx, dec.Sequence[0], tm)
+	hctx, hsp := obs.StartSpan(ctx, "engine.hop")
+	if hsp != nil {
+		hsp.SetInt("hop", 0)
+		hsp.SetAttr("question", dec.Sequence[0])
+	}
+	first, firstCands, err := e.answerBFQ(hctx, dec.Sequence[0], tm)
+	hsp.End()
 	if err != nil {
 		if Unanswerable(err) {
 			return Answer{}, nil, false, nil
 		}
 		return Answer{}, nil, false, err
 	}
+	hsp.SetAttr("value", first.Value)
 	steps := []Step{{
 		Question:  dec.Sequence[0],
 		Questions: []string{dec.Sequence[0]},
@@ -632,9 +703,14 @@ func (e *Engine) executeChain(ctx context.Context, dec decompose.Decomposition, 
 	final := first
 	finalCands := firstCands
 
-	for _, pat := range dec.Sequence[1:] {
+	for hop, pat := range dec.Sequence[1:] {
 		if err := ctx.Err(); err != nil {
 			return Answer{}, nil, false, err
+		}
+		hctx, hsp := obs.StartSpan(ctx, "engine.hop")
+		if hsp != nil {
+			hsp.SetInt("hop", int64(hop+1))
+			hsp.SetAttr("pattern", pat)
 		}
 		valueSet := make(map[string]bool)
 		var stepAnswer Answer
@@ -644,15 +720,17 @@ func (e *Engine) executeChain(ctx context.Context, dec decompose.Decomposition, 
 		hopAnswered := false
 		for _, v := range current {
 			if err := ctx.Err(); err != nil {
+				hsp.End()
 				return Answer{}, nil, false, err
 			}
 			q := decompose.Bind(pat, v)
 			executed = append(executed, q)
-			ans, cands, err := e.answerBFQ(ctx, q, tm)
+			ans, cands, err := e.answerBFQ(hctx, q, tm)
 			if err != nil {
 				if Unanswerable(err) {
 					continue
 				}
+				hsp.End()
 				return Answer{}, nil, false, err
 			}
 			hopAnswered = true
@@ -665,9 +743,12 @@ func (e *Engine) executeChain(ctx context.Context, dec decompose.Decomposition, 
 				valueSet[nv] = true
 			}
 		}
+		hsp.SetInt("bindings", int64(len(executed)))
+		hsp.End()
 		if !hopAnswered {
 			return Answer{}, nil, false, nil
 		}
+		hsp.SetAttr("value", stepAnswer.Value)
 		next := make([]string, 0, len(valueSet))
 		for v := range valueSet {
 			next = append(next, v)

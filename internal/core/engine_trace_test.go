@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/text"
+)
+
+// TestAnswerTraceStagesMatchTimings drives a traced chain question through
+// the engine and checks the span tree: an engine.answer root with
+// parse/match/probe stage children whose durations equal the returned
+// Timings exactly (both read the same accumulator), plus per-hop and
+// per-BFQ spans from chain execution.
+func TestAnswerTraceStagesMatchTimings(t *testing.T) {
+	f := world(t)
+	path, _ := f.kb.Store.ParsePath("marriage→person→name")
+	var subject string
+	for _, p := range f.kb.ByCategory["person"] {
+		if len(f.kb.Store.PathObjects(p, path)) > 0 {
+			subject = f.kb.Store.Label(p)
+			break
+		}
+	}
+	q := "When was " + text.TitleCase(subject) + "'s wife born?"
+
+	tracer := obs.NewTracer(obs.Options{SampleRate: 1})
+	ctx, trace := tracer.Start(context.Background(), "test")
+	ans, _, tm, err := f.engine.AnswerTopKTimed(ctx, q, 3)
+	trace.Finish()
+	if err != nil {
+		t.Fatalf("no answer for %q: %v", q, err)
+	}
+	if !ans.Complex() {
+		t.Fatalf("expected a decomposed answer for %q", q)
+	}
+
+	snaps := tracer.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("captured %d traces, want 1", len(snaps))
+	}
+	root := snaps[0].Root
+	eng := root.Find("engine.answer")
+	if eng == nil {
+		t.Fatalf("no engine.answer span in %+v", root)
+	}
+	for stage, want := range map[string]time.Duration{
+		"parse": tm.Parse, "match": tm.Match, "probe": tm.Probe,
+	} {
+		sp := eng.Find(stage)
+		if sp == nil {
+			t.Fatalf("missing %s stage span", stage)
+		}
+		if sp.DurationNanos != want.Nanoseconds() {
+			t.Errorf("%s span = %dns, Timings report %dns", stage, sp.DurationNanos, want.Nanoseconds())
+		}
+	}
+	if tm.Parse+tm.Match+tm.Probe > tm.Total {
+		t.Errorf("stage sum %v exceeds total %v", tm.Parse+tm.Match+tm.Probe, tm.Total)
+	}
+	if eng.DurationNanos > snaps[0].DurationNanos {
+		t.Error("engine span outlived the trace")
+	}
+
+	// Chain execution must surface hop and BFQ spans.
+	hops := 0
+	for _, c := range eng.Children {
+		if c.Name == "engine.hop" {
+			hops++
+			if c.Find("engine.bfq") == nil {
+				t.Errorf("hop span has no BFQ child: %+v", c)
+			}
+		}
+	}
+	if hops < 2 {
+		t.Fatalf("found %d engine.hop spans, want >= 2 for a 2-step chain", hops)
+	}
+	if eng.Find("engine.probe") == nil {
+		t.Fatal("no engine.probe span captured")
+	}
+	if v, ok := eng.Attr("question"); !ok || v != q {
+		t.Errorf("engine.answer question attr = %q, want %q", v, q)
+	}
+}
+
+// TestUntracedAnswerUnchanged pins the fast path: without a trace in the
+// context the engine must not allocate spans and the timed/untimed results
+// must match the traced ones.
+func TestUntracedAnswerUnchanged(t *testing.T) {
+	f := world(t)
+	q := "What is the population of a city?" // answerable shape irrelevant; compare traced vs untraced
+	for _, p := range f.pairs[:5] {
+		q = p.Q
+		a1, ok1 := f.engine.Answer(q)
+		tracer := obs.NewTracer(obs.Options{SampleRate: 1})
+		ctx, trace := tracer.Start(context.Background(), "t")
+		a2, err := f.engine.AnswerCtx(ctx, q)
+		trace.Finish()
+		if ok1 != (err == nil) {
+			t.Fatalf("traced/untraced answerability diverged for %q: %v vs %v", q, ok1, err)
+		}
+		if !ok1 {
+			continue
+		}
+		if a1.Value != a2.Value || a1.Path != a2.Path {
+			t.Fatalf("traced answer diverged for %q: %+v vs %+v", q, a1, a2)
+		}
+	}
+}

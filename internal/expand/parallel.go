@@ -1,8 +1,10 @@
 package expand
 
 import (
+	"context"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -19,6 +21,14 @@ import (
 // wall-clock drops toward the largest shard's scan time, which is what
 // BenchmarkExpandParallel measures across GOMAXPROCS.
 func ExpandParallel(ss *rdf.ShardedStore, cfg Config) *Result {
+	return ExpandParallelCtx(context.Background(), ss, cfg)
+}
+
+// ExpandParallelCtx is ExpandParallel under a context, for tracing: when
+// ctx carries a trace, each round runs under an "expand.round" span with
+// one "expand.scan" child per shard worker. The scan itself is unchanged —
+// an untraced context costs one lookup per round.
+func ExpandParallelCtx(ctx context.Context, ss *rdf.ShardedStore, cfg Config) *Result {
 	if cfg.MaxLen <= 0 {
 		cfg.MaxLen = 1
 	}
@@ -31,18 +41,32 @@ func ExpandParallel(ss *rdf.ShardedStore, cfg Config) *Result {
 	bufs := make([]roundBuf, ss.NumShards())
 	for round := 1; round <= cfg.MaxLen && len(frontier) > 0; round++ {
 		st.res.Scans++
+		_, rsp := obs.StartSpan(ctx, "expand.round")
+		if rsp != nil {
+			rsp.SetInt("round", int64(round))
+			rsp.SetInt("frontier", int64(len(frontier)))
+		}
 		var wg sync.WaitGroup
 		for i := 0; i < ss.NumShards(); i++ {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				ssp := rsp.Child("expand.scan")
+				ssp.SetInt("shard", int64(i))
 				bufs[i] = scanRound(func(fn func(rdf.Triple)) {
 					ss.ShardTriples(i, fn)
 				}, ss, cfg, frontier, round)
+				ssp.SetInt("scanned", int64(bufs[i].scanned))
+				ssp.SetInt("emits", int64(len(bufs[i].emits)))
+				ssp.End()
 			}(i)
 		}
 		wg.Wait()
 		frontier = st.applyRound(bufs)
+		if rsp != nil {
+			rsp.SetInt("triples", int64(len(st.res.Triples)))
+			rsp.End()
+		}
 	}
 	return st.res
 }

@@ -2,10 +2,13 @@ package expand
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/infobox"
 	"repro/internal/kbgen"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -142,5 +145,72 @@ func TestOverDispatches(t *testing.T) {
 		if a != b {
 			t.Fatalf("valid(%d) diverges across layouts: %d vs %d", k, a, b)
 		}
+	}
+}
+
+// TestExpandParallelSpans checks the trace shape of a traced parallel
+// expansion: one expand.round span per scan round, each with one
+// expand.scan child per shard, and per-shard scanned counts that sum to
+// the result's Scanned total.
+func TestExpandParallelSpans(t *testing.T) {
+	kb := kbgen.Generate(kbgen.Config{Seed: 5, Flavor: kbgen.Freebase, Scale: 8, Shards: 4})
+	ss, ok := kb.Store.(*rdf.ShardedStore)
+	if !ok {
+		t.Fatalf("store is %T, want sharded", kb.Store)
+	}
+	tracer := obs.NewTracer(obs.Options{SampleRate: 1})
+	ctx, trace := tracer.Start(context.Background(), "expand")
+	res := ExpandParallelCtx(ctx, ss, Config{MaxLen: 3, EndFilter: kb.EndFilter, KeepAllLengths: true})
+	trace.Finish()
+
+	snaps := tracer.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("captured %d traces, want 1", len(snaps))
+	}
+	var rounds []obs.SpanSnapshot
+	for _, c := range snaps[0].Root.Children {
+		if c.Name == "expand.round" {
+			rounds = append(rounds, c)
+		}
+	}
+	if len(rounds) != res.Scans {
+		t.Fatalf("%d expand.round spans, want %d (res.Scans)", len(rounds), res.Scans)
+	}
+	var scanned int64
+	for _, r := range rounds {
+		shards := map[string]bool{}
+		for _, c := range r.Children {
+			if c.Name != "expand.scan" {
+				continue
+			}
+			id, ok := c.Attr("shard")
+			if !ok || shards[id] {
+				t.Fatalf("scan span missing or duplicate shard attr: %+v", c)
+			}
+			shards[id] = true
+			n, _ := c.Attr("scanned")
+			var v int64
+			fmt.Sscan(n, &v)
+			scanned += v
+		}
+		if len(shards) != ss.NumShards() {
+			t.Fatalf("round has %d scan spans, want %d", len(shards), ss.NumShards())
+		}
+	}
+	if scanned != int64(res.Scanned) {
+		t.Fatalf("per-shard scanned sums to %d, result reports %d", scanned, res.Scanned)
+	}
+}
+
+// TestExpandParallelUntracedIdentical pins that threading a context
+// without a trace changes nothing about the result.
+func TestExpandParallelUntracedIdentical(t *testing.T) {
+	kb := kbgen.Generate(kbgen.Config{Seed: 5, Flavor: kbgen.Freebase, Scale: 8, Shards: 2})
+	ss := kb.Store.(*rdf.ShardedStore)
+	cfg := Config{MaxLen: 2, EndFilter: kb.EndFilter}
+	a := ExpandParallel(ss, cfg)
+	b := ExpandParallelCtx(context.Background(), ss, cfg)
+	if len(a.Triples) != len(b.Triples) || a.Scanned != b.Scanned || a.Scans != b.Scans {
+		t.Fatalf("ctx variant diverged: %+v vs %+v", a, b)
 	}
 }

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level is a log severity. Records below a Logger's minimum level are
+// discarded before formatting.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name used in the "level" field.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error") to its
+// Level, defaulting to LevelInfo for anything unrecognized.
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Field is one structured key/value pair of a log record.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// logSink serializes writes from every Logger derived from the same
+// NewLogger call, so concurrent records never interleave mid-line.
+type logSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Logger writes one JSON object per line: {"ts":...,"level":...,
+// "msg":..., <fields>...}. Derive request-scoped loggers with With. A nil
+// *Logger discards everything — all methods are nil-safe — so optional
+// logging costs one nil check at the call site.
+type Logger struct {
+	sink   *logSink
+	min    Level
+	fields []Field
+}
+
+// NewLogger builds a Logger writing JSON lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{sink: &logSink{w: w}, min: min}
+}
+
+// With returns a Logger that prepends fields to every record; the parent
+// is unchanged and output stays serialized through the shared sink.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	merged := make([]Field, 0, len(l.fields)+len(fields))
+	merged = append(merged, l.fields...)
+	merged = append(merged, fields...)
+	return &Logger{sink: l.sink, min: l.min, fields: merged}
+}
+
+// Enabled reports whether records at lv would be written.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.min }
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if !l.Enabled(lv) {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":"`...)
+	buf = time.Now().UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, lv.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSONValue(buf, msg)
+	for _, f := range l.fields {
+		buf = appendField(buf, f)
+	}
+	for _, f := range fields {
+		buf = appendField(buf, f)
+	}
+	buf = append(buf, '}', '\n')
+	l.sink.mu.Lock()
+	l.sink.w.Write(buf)
+	l.sink.mu.Unlock()
+}
+
+func appendField(buf []byte, f Field) []byte {
+	buf = append(buf, ',')
+	buf = appendJSONValue(buf, f.Key)
+	buf = append(buf, ':')
+	return appendJSONValue(buf, f.Value)
+}
+
+// appendJSONValue marshals v, rendering errors and durations as their
+// strings (json.Marshal would emit {} and a bare nanosecond count).
+func appendJSONValue(buf []byte, v any) []byte {
+	switch t := v.(type) {
+	case error:
+		v = t.Error()
+	case time.Duration:
+		v = t.String()
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	return append(buf, b...)
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RuntimeStats is a point-in-time sample of the Go runtime, exported into
+// the serving Snapshot and the Prometheus exposition.
+type RuntimeStats struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes        uint64  `json:"heap_sys_bytes"`
+	GCCycles            uint32  `json:"gc_cycles"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	LastGCPauseSeconds  float64 `json:"last_gc_pause_seconds"`
+}
+
+// ReadRuntimeStats samples the runtime. It calls runtime.ReadMemStats,
+// which briefly stops the world — intended for scrape/snapshot cadence,
+// not per-request use.
+func ReadRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := RuntimeStats{
+		Goroutines:          runtime.NumGoroutine(),
+		HeapAllocBytes:      ms.HeapAlloc,
+		HeapSysBytes:        ms.HeapSys,
+		GCCycles:            ms.NumGC,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+	}
+	if ms.NumGC > 0 {
+		st.LastGCPauseSeconds = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	return st
+}
+
+// Version returns the main module's version from build info, or "dev"
+// when built outside a released module (the usual case for go test and
+// local builds).
+func Version() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "dev"
+}
+
+// GoVersion returns the toolchain version the binary was built with.
+func GoVersion() string { return runtime.Version() }

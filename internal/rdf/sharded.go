@@ -119,6 +119,11 @@ func (ss *ShardedStore) shardOf(id ID) int {
 	return int((uint32(id) * 2654435761) % uint32(len(ss.shards)))
 }
 
+// ShardOf reports which shard owns id's subject-indexed edges — the
+// observability hook that lets query traces attribute knowledge-base
+// probes to shards.
+func (ss *ShardedStore) ShardOf(id ID) int { return ss.shardOf(id) }
+
 // Add records the triple (subj, pred, obj). Duplicate triples are ignored.
 func (ss *ShardedStore) Add(subj ID, pred PID, obj ID) {
 	if ss.shards[ss.shardOf(subj)].add(subj, pred, obj) {

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Stage names of the latency histograms, matching core.Timings attribution.
@@ -67,14 +69,21 @@ type Bucket struct {
 }
 
 // HistogramSnapshot is a point-in-time JSON-friendly view of a histogram.
-// Quantiles are estimated by linear interpolation inside the target bucket.
+// Quantiles are estimated by linear interpolation inside the target bucket;
+// a quantile landing in the overflow region is clamped to the last real
+// bound (and Overflow is non-zero), never interpolated against a bound
+// that was never measured.
 type HistogramSnapshot struct {
-	Count      uint64   `json:"count"`
-	MeanMillis float64  `json:"mean_ms"`
-	P50Millis  float64  `json:"p50_ms"`
-	P90Millis  float64  `json:"p90_ms"`
-	P99Millis  float64  `json:"p99_ms"`
-	Buckets    []Bucket `json:"buckets,omitempty"`
+	Count      uint64  `json:"count"`
+	MeanMillis float64 `json:"mean_ms"`
+	P50Millis  float64 `json:"p50_ms"`
+	P90Millis  float64 `json:"p90_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	// Overflow counts observations beyond the last bucket bound (1s).
+	// When a reported quantile equals the last bound and Overflow > 0, the
+	// true quantile lies somewhere above it.
+	Overflow uint64   `json:"overflow,omitempty"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {
@@ -84,7 +93,7 @@ func (h *histogram) snapshot() HistogramSnapshot {
 		counts[i] = h.buckets[i].Load()
 		total += counts[i]
 	}
-	snap := HistogramSnapshot{Count: total}
+	snap := HistogramSnapshot{Count: total, Overflow: counts[numBuckets-1]}
 	if total == 0 {
 		return snap
 	}
@@ -92,8 +101,8 @@ func (h *histogram) snapshot() HistogramSnapshot {
 	snap.P50Millis = quantile(counts[:], total, 0.50)
 	snap.P90Millis = quantile(counts[:], total, 0.90)
 	snap.P99Millis = quantile(counts[:], total, 0.99)
-	snap.Buckets = make([]Bucket, 0, len(counts))
-	for i, c := range counts {
+	snap.Buckets = make([]Bucket, 0, len(bucketBounds))
+	for i, c := range counts[:numBuckets-1] {
 		if c == 0 {
 			continue
 		}
@@ -102,20 +111,25 @@ func (h *histogram) snapshot() HistogramSnapshot {
 	return snap
 }
 
-// upperBoundMillis is bucket i's upper bound; the overflow bucket reports a
-// nominal 4× of the last real bound.
+// upperBoundMillis is real bucket i's upper bound in milliseconds. The
+// overflow bucket has no finite bound: callers clamp to the last real
+// bound (index len(bucketBounds)-1) and flag the overflow instead of
+// fabricating one.
 func upperBoundMillis(i int) float64 {
-	if i < len(bucketBounds) {
-		return float64(bucketBounds[i]) / 1e6
+	if i >= len(bucketBounds) {
+		i = len(bucketBounds) - 1
 	}
-	return float64(4*bucketBounds[len(bucketBounds)-1]) / 1e6
+	return float64(bucketBounds[i]) / 1e6
 }
 
 // quantile estimates the q-quantile in milliseconds from bucket counts.
+// Only the bounded buckets interpolate; a target landing in the overflow
+// bucket returns the last real bound — a reported floor, not an estimate —
+// rather than interpolating toward a bound that was never observed.
 func quantile(counts []uint64, total uint64, q float64) float64 {
 	target := q * float64(total)
 	var cum float64
-	for i, c := range counts {
+	for i, c := range counts[:len(counts)-1] {
 		if c == 0 {
 			continue
 		}
@@ -130,7 +144,7 @@ func quantile(counts []uint64, total uint64, q float64) float64 {
 		}
 		cum += float64(c)
 	}
-	return upperBoundMillis(len(counts) - 1)
+	return upperBoundMillis(len(bucketBounds) - 1)
 }
 
 // metrics is the runtime's self-instrumentation: cheap atomic counters and
@@ -156,6 +170,10 @@ type metrics struct {
 	// the lock-free answer counters, so a plain mutex is fine here.
 	errMu    sync.Mutex
 	errCodes map[string]uint64
+
+	// start is the runtime's construction time (kbqa_uptime_seconds);
+	// written once in NewWithStore, before any concurrent access.
+	start time.Time
 }
 
 // countError bumps the labelled error counter for a non-empty code.
@@ -235,6 +253,16 @@ type Snapshot struct {
 	// engine_panic plus the domain codes recorded via CountError
 	// (no_entity, no_template, no_answer).
 	Errors map[string]uint64 `json:"errors,omitempty"`
+	// UptimeSeconds is the age of the serving runtime
+	// (kbqa_uptime_seconds); 0 for hand-built metrics structs.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Version and GoVersion identify the build (kbqa_build_info).
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	// Runtime samples the Go runtime at snapshot time: goroutines, heap
+	// bytes and GC pause totals (kbqa_goroutines, kbqa_heap_alloc_bytes,
+	// kbqa_gc_pause_seconds_total, ...).
+	Runtime obs.RuntimeStats `json:"runtime"`
 }
 
 func (m *metrics) snapshot() Snapshot {
@@ -254,6 +282,12 @@ func (m *metrics) snapshot() Snapshot {
 			StageProbe: m.probe.snapshot(),
 			StageTotal: m.total.snapshot(),
 		},
+		Version:   obs.Version(),
+		GoVersion: obs.GoVersion(),
+		Runtime:   obs.ReadRuntimeStats(),
+	}
+	if !m.start.IsZero() {
+		s.UptimeSeconds = time.Since(m.start).Seconds()
 	}
 	if s.Served > 0 {
 		s.HitRate = float64(s.CacheHits) / float64(s.Served)

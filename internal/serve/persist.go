@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -15,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DiskStore is the persistent Store: a sharded in-memory LRU (the serving
@@ -88,6 +91,9 @@ type DiskStore[A any] struct {
 	mergeCh    chan struct{} // signals the merger that sealed segments exist
 	stopMerger chan struct{}
 	mergerDone chan struct{}
+
+	log    *obs.Logger // nil-safe: discards when unset
+	tracer *obs.Tracer // nil-safe: inert when unset
 }
 
 // sealedSeg is one rotated-out segment awaiting merge.
@@ -140,6 +146,15 @@ type DiskOptions struct {
 	// after the runtime's own TTL has expired them. 0 keeps everything.
 	// Wire it to the runtime's Options.TTL.
 	TTL time.Duration
+	// Log receives the store's structured background events: completed
+	// merges at Info, rotations at Debug, sticky write errors at Error.
+	// Nil discards them.
+	Log *obs.Logger
+	// Tracer captures the background maintenance work — compaction merges
+	// ("cache.merge" with replay/publish/cleanup child spans) and periodic
+	// syncs ("cache.sync") — in the same ring as request traces, subject to
+	// the same sampling and slow-capture rules. Nil disables.
+	Tracer *obs.Tracer
 }
 
 // defaultCompactEvery is the appended-bytes rotation threshold.
@@ -210,6 +225,8 @@ func OpenDiskStore[A any](dir string, codec Codec[A], o DiskOptions) (*DiskStore
 		rotateEvery: o.CompactEvery,
 		ttl:         o.TTL,
 		lock:        lock,
+		log:         o.Log,
+		tracer:      o.Tracer,
 	}
 	if s.rotateEvery == 0 {
 		s.rotateEvery = defaultCompactEvery
@@ -628,6 +645,13 @@ func (s *DiskStore[A]) rotateLocked() {
 	s.sealed = append(s.sealed, sealedSeg{path: sealedPath, size: size})
 	s.sealedBytes.Add(size)
 	s.rotations.Add(1)
+	// Debug only, and only when a logger is wired: this runs on the request
+	// path under s.mu, so it must stay as light as the rotation itself.
+	if s.log.Enabled(obs.LevelDebug) {
+		s.log.Debug("segment rotated",
+			obs.F("path", sealedPath), obs.F("bytes", size),
+			obs.F("sealed_pending", len(s.sealed)))
+	}
 	if err := s.startActiveLocked(); err != nil {
 		s.writeErr = err
 		return
@@ -686,6 +710,11 @@ func (s *DiskStore[A]) mergeSealed() {
 	if len(pending) == 0 {
 		return
 	}
+	begin := time.Now()
+	_, mtr := s.tracer.Start(context.Background(), "cache.merge")
+	defer mtr.Finish()
+	root := mtr.Root()
+	root.SetInt("segments", int64(len(pending)))
 	// No pre-sync of the sealed inputs: the merge reads whatever the OS
 	// holds (page cache included), and the output base is fsynced before
 	// the inputs are deleted — the base is the durable copy. The SyncEvery
@@ -701,12 +730,17 @@ func (s *DiskStore[A]) mergeSealed() {
 	for _, seg := range pending {
 		files = append(files, seg.path)
 	}
+	rsp := root.Child("merge.replay")
 	for _, path := range files {
 		if err := s.replayFile(path, &order, index, &gen, &genTag); err != nil {
+			root.SetAttr("error", err.Error())
+			rsp.End()
 			s.setWriteErr(err)
 			return
 		}
 	}
+	rsp.SetInt("records", int64(len(order)))
+	rsp.End()
 	// Filter on the store's current generation, not the highest one these
 	// files mention: a bump whose record went to the active segment has
 	// already made older entries unreachable. Entries no longer resident
@@ -723,10 +757,16 @@ func (s *DiskStore[A]) mergeSealed() {
 			live = append(live, le)
 		}
 	}
+	psp := root.Child("merge.publish")
 	if err := s.writeSegment(s.basePath(), live, cur, tag); err != nil {
+		root.SetAttr("error", err.Error())
+		psp.End()
 		s.setWriteErr(err)
 		return
 	}
+	psp.SetInt("live", int64(len(live)))
+	psp.End()
+	csp := root.Child("merge.cleanup")
 	removed, freed := 0, int64(0)
 	for _, seg := range pending { // oldest first — see above
 		if err := os.Remove(seg.path); err != nil {
@@ -735,12 +775,22 @@ func (s *DiskStore[A]) mergeSealed() {
 		removed++
 		freed += seg.size
 	}
+	csp.SetInt("removed", int64(removed))
+	csp.SetInt("freed_bytes", freed)
+	csp.End()
 	s.mu.Lock()
 	s.sealed = s.sealed[removed:]
 	s.mu.Unlock()
 	s.sealedBytes.Add(-freed)
 	s.compactions.Add(1)
 	s.lastSync.Store(time.Now().UnixNano())
+	root.SetInt("live", int64(len(live)))
+	root.SetInt("freed_bytes", freed)
+	s.log.Info("cache merge",
+		obs.F("trace_id", mtr.ID()),
+		obs.F("segments", len(pending)), obs.F("live", len(live)),
+		obs.F("freed_bytes", freed), obs.F("generation", cur),
+		obs.F("duration", time.Since(begin)))
 }
 
 // syncActive is the periodic durability point: one syncPoint pass,
@@ -748,9 +798,18 @@ func (s *DiskStore[A]) mergeSealed() {
 // to a sealed segment the next pass covers). Sealed-sync failures are
 // recorded sticky but don't stop the tick — the disk may recover.
 func (s *DiskStore[A]) syncActive() {
+	_, str := s.tracer.Start(context.Background(), "cache.sync")
+	defer str.Finish()
+	passes := 0
 	for {
-		retry, _ := s.syncPoint(false)
+		passes++
+		retry, err := s.syncPoint(false)
 		if !retry {
+			sp := str.Root()
+			sp.SetInt("passes", int64(passes))
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
 			return
 		}
 	}
@@ -848,13 +907,17 @@ func (s *DiskStore[A]) markSealedSynced(paths []string) {
 }
 
 // setWriteErr records the first background failure; surfaced by Flush and
-// Close like append-path errors.
+// Close like append-path errors, and logged at Error the first time.
 func (s *DiskStore[A]) setWriteErr(err error) {
 	s.mu.Lock()
-	if s.writeErr == nil {
+	first := s.writeErr == nil
+	if first {
 		s.writeErr = err
 	}
 	s.mu.Unlock()
+	if first {
+		s.log.Error("persistent store write error", obs.F("error", err))
+	}
 }
 
 // syncFile fsyncs path (a read-only descriptor syncs fine). A missing

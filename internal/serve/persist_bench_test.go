@@ -1,9 +1,7 @@
 package serve
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -106,26 +104,17 @@ func BenchmarkPutTail(b *testing.B) {
 	speedup := float64(legacy) / float64(maxRotPut)
 	b.ReportMetric(speedup, "speedup-x")
 
-	if path := os.Getenv("BENCH_JSON"); path != "" {
-		out := map[string]any{
-			"benchmark":           "BenchmarkPutTail",
-			"compact_every_bytes": defaultCompactEvery,
-			"resident_entries":    len(live),
-			"puts":                puts,
-			"rotations":           s.PersistStats().Rotations,
-			"mean_put_ns":         meanPut.Nanoseconds(),
-			"rotation_put_ns":     maxRotPut.Nanoseconds(),
-			"max_put_ns":          maxPut.Nanoseconds(),
-			"legacy_rewrite_ns":   legacy.Nanoseconds(),
-			"threshold_speedup_x": speedup,
-			"speedup_note":        "rotation_put_ns is the worst threshold-crossing Put (the op that rotates the segment); legacy_rewrite_ns is the synchronous rewrite+fsync of the resident set the pre-rotation store charged that same Put",
-		}
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			b.Fatal(err)
-		}
-	}
+	writeBenchJSON(b, "put_tail", map[string]any{
+		"benchmark":           "BenchmarkPutTail",
+		"compact_every_bytes": defaultCompactEvery,
+		"resident_entries":    len(live),
+		"puts":                puts,
+		"rotations":           s.PersistStats().Rotations,
+		"mean_put_ns":         meanPut.Nanoseconds(),
+		"rotation_put_ns":     maxRotPut.Nanoseconds(),
+		"max_put_ns":          maxPut.Nanoseconds(),
+		"legacy_rewrite_ns":   legacy.Nanoseconds(),
+		"threshold_speedup_x": speedup,
+		"speedup_note":        "rotation_put_ns is the worst threshold-crossing Put (the op that rotates the segment); legacy_rewrite_ns is the synchronous rewrite+fsync of the resident set the pre-rotation store charged that same Put",
+	})
 }

@@ -34,7 +34,13 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	gaugeF := func(name, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP kbqa_%s %s\n# TYPE kbqa_%s gauge\nkbqa_%s %s\n", name, help, name, name, formatSeconds(v))
 	}
+	counterF := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP kbqa_%s %s\n# TYPE kbqa_%s counter\nkbqa_%s %s\n", name, help, name, name, formatSeconds(v))
+	}
 
+	fmt.Fprintf(&b, "# HELP kbqa_build_info Build metadata; the value is always 1.\n# TYPE kbqa_build_info gauge\nkbqa_build_info{version=%q,goversion=%q} 1\n",
+		s.Version, s.GoVersion)
+	gaugeF("uptime_seconds", "Seconds since the serving runtime was constructed.", s.UptimeSeconds)
 	counter("requests_total", "Requests that reached the cache/engine path.", s.Served)
 	counter("cache_hits_total", "Requests answered straight from the answer cache.", s.CacheHits)
 	counter("cache_misses_total", "Requests that had to consult the flight group or engine.", s.CacheMisses)
@@ -54,6 +60,11 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("ratelimit_rejected_total", "Requests refused by the per-client rate limiter before entering the serving pipeline.", s.RateLimitRejected)
 	counter("engine_panics_total", "Requests that surfaced a contained engine panic.", s.EnginePanics)
 	gauge("in_flight", "Requests currently executing.", s.InFlight)
+	gauge("goroutines", "Goroutines at snapshot time.", int64(s.Runtime.Goroutines))
+	gauge("heap_alloc_bytes", "Live heap bytes at snapshot time.", int64(s.Runtime.HeapAllocBytes))
+	gauge("heap_sys_bytes", "Heap bytes obtained from the OS.", int64(s.Runtime.HeapSysBytes))
+	counter("gc_cycles_total", "Completed GC cycles.", uint64(s.Runtime.GCCycles))
+	counterF("gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", s.Runtime.GCPauseTotalSeconds)
 
 	fmt.Fprintf(&b, "# HELP kbqa_query_errors_total Requests that returned an error, by stable code.\n")
 	fmt.Fprintf(&b, "# TYPE kbqa_query_errors_total counter\n")
@@ -68,19 +79,17 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 
 	fmt.Fprintf(&b, "# HELP kbqa_stage_latency_seconds Pipeline-stage latency (parse/match/probe cover engine calls; total is end-to-end serving).\n")
 	fmt.Fprintf(&b, "# TYPE kbqa_stage_latency_seconds histogram\n")
-	overflow := upperBoundMillis(numBuckets - 1)
 	for _, stage := range stageOrder {
 		h, ok := s.Stages[stage]
 		if !ok {
 			continue
 		}
+		// Buckets carry only the finite bounds; observations beyond the
+		// last bound (h.Overflow) appear solely in +Inf, whose count is the
+		// total by construction.
 		var cum uint64
 		for _, bk := range h.Buckets {
 			cum += bk.Count
-			if bk.LEMillis == overflow {
-				// The nominal overflow bound folds into +Inf below.
-				continue
-			}
 			fmt.Fprintf(&b, "kbqa_stage_latency_seconds_bucket{stage=%q,le=%q} %d\n",
 				stage, formatSeconds(bk.LEMillis/1e3), cum)
 		}

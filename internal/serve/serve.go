@@ -39,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // AskFunc is the engine the runtime wraps: it answers one question under a
@@ -177,6 +179,7 @@ func NewWithStore[A any](ask AskFunc[A], o Options, store Store[A]) *Runtime[A] 
 		r.normalize = defaultNormalize
 	}
 	r.opts = o
+	r.metrics.start = time.Now()
 	return r
 }
 
@@ -285,7 +288,13 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 	key := cacheKey(gen, r.normalize(question), fingerprint)
 	r.metrics.served.Add(1)
 	if r.cache != nil {
-		if e, hit := r.cache.Get(key); hit {
+		_, csp := obs.StartSpan(ctx, "serve.cache")
+		e, hit := r.cache.Get(key)
+		if csp != nil {
+			csp.SetAttr("hit", strconv.FormatBool(hit && r.fresh(e)))
+			csp.End()
+		}
+		if hit {
 			if r.fresh(e) {
 				r.metrics.hits.Add(1)
 				if e.Persisted {
@@ -315,7 +324,11 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 	}
 
 	for {
-		val, okAns, shared, err := r.flight.do(ctx, key, func() (A, bool, error) {
+		// The flight span covers both roles: a leader runs the closure
+		// inside it (so admit/engine/persist nest under it), a follower
+		// records the join wait; the shared attribute tells them apart.
+		fctx, fsp := obs.StartSpan(ctx, "serve.flight")
+		val, okAns, shared, err := r.flight.do(fctx, key, func() (A, bool, error) {
 			// A flight for this key may have completed between the miss
 			// and this leader starting; don't redo resident work.
 			if r.cache != nil {
@@ -323,17 +336,21 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 					return e.Val, e.OK, nil
 				}
 			}
-			release, err := r.admit(ctx)
+			_, asp := obs.StartSpan(fctx, "serve.admit")
+			release, err := r.admit(fctx)
+			asp.End()
 			if err != nil {
 				var zero A
 				return zero, false, err
 			}
 			defer release()
-			if err := ctx.Err(); err != nil {
+			if err := fctx.Err(); err != nil {
 				var zero A
 				return zero, false, err
 			}
-			a, tm, okAns, err := compute(ctx, question)
+			ectx, esp := obs.StartSpan(fctx, "serve.engine")
+			a, tm, okAns, err := compute(ectx, question)
+			esp.End()
 			if err != nil {
 				// An engine that died on its context (or any other
 				// infrastructure failure) produced no answer worth
@@ -343,10 +360,16 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 			}
 			r.metrics.observeStages(tm)
 			if r.cache != nil {
+				_, psp := obs.StartSpan(fctx, "serve.persist")
 				r.cache.Put(key, Entry[A]{Val: a, OK: okAns, Gen: gen, At: time.Now()})
+				psp.End()
 			}
 			return a, okAns, nil
 		})
+		if fsp != nil {
+			fsp.SetAttr("shared", strconv.FormatBool(shared))
+			fsp.End()
+		}
 		if err != nil {
 			// A shared context error is the leader's, produced by the
 			// leader's own deadline; a follower whose context is still

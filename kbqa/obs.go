@@ -1,0 +1,55 @@
+package kbqa
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// The observability surface of the serving stack, re-exported so callers
+// outside the module can configure tracing and structured logging without
+// reaching into internal/obs. The aliases are type identities: a
+// *kbqa.Logger is a *obs.Logger, so values flow through ServerOptions and
+// the internal layers unchanged.
+
+// Logger is the structured leveled JSON logger: one object per line with
+// ts/level/msg plus the record's fields. A nil *Logger discards
+// everything, so optional logging needs no branches.
+type Logger = obs.Logger
+
+// LogField is one structured key/value pair of a log record.
+type LogField = obs.Field
+
+// LogF builds a LogField.
+func LogF(key string, value any) LogField { return obs.F(key, value) }
+
+// LogLevel is a log severity; records below a Logger's minimum are
+// discarded before formatting.
+type LogLevel = obs.Level
+
+// Log severities, lowest to highest.
+const (
+	LogDebug = obs.LevelDebug
+	LogInfo  = obs.LevelInfo
+	LogWarn  = obs.LevelWarn
+	LogError = obs.LevelError
+)
+
+// NewLogger builds a Logger writing JSON lines at or above min to w.
+func NewLogger(w io.Writer, min LogLevel) *Logger { return obs.NewLogger(w, min) }
+
+// ParseLogLevel maps a level name ("debug", "info", "warn", "error") to
+// its LogLevel, defaulting to LogInfo for anything unrecognized.
+func ParseLogLevel(s string) LogLevel { return obs.ParseLevel(s) }
+
+// Tracer samples request traces into a bounded ring buffer; build one
+// implicitly through ServerOptions (TraceSampleRate / SlowQueryThreshold /
+// TraceBuffer) and read it back with Server.Traces.
+type Tracer = obs.Tracer
+
+// TraceSnapshot is one completed, retained trace as served by
+// /debug/traces: the trace ID, its wall-clock bounds, and the span tree.
+type TraceSnapshot = obs.TraceSnapshot
+
+// SpanSnapshot is one node of a TraceSnapshot's span tree.
+type SpanSnapshot = obs.SpanSnapshot

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -161,6 +162,11 @@ type Result struct {
 	// Timings attributes the latency of the computation that produced
 	// this result (a cache hit reports the original computation's).
 	Timings QueryTimings `json:"timings"`
+	// TraceID identifies the request trace this result was produced (or
+	// served) under, when tracing is enabled — the same ID the HTTP layer
+	// echoes as X-Kbqa-Trace and /debug/traces serves. Empty when the
+	// request was untraced.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Answerer is anything that answers questions through the unified
@@ -199,7 +205,7 @@ func (s *System) query(ctx context.Context, question string, cfg queryConfig) (*
 	}
 	start := time.Now()
 	eng := s.engine()
-	res := &Result{Question: question}
+	res := &Result{Question: question, TraceID: obs.TraceID(ctx)}
 	if !cfg.noVariants {
 		if va, ok := eng.AnswerVariant(question); ok {
 			v := variantFromCore(va)

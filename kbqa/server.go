@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/text"
 )
@@ -78,6 +79,27 @@ type ServerOptions struct {
 	// RateBurst is the per-client burst allowance (default ⌈RateLimit⌉,
 	// minimum 1).
 	RateBurst int
+	// TraceSampleRate is the probability in [0,1] that a request trace is
+	// retained in the trace buffer regardless of duration. Setting any of
+	// the three trace options builds the server's tracer; with all three
+	// zero, tracing is off and requests pay nothing.
+	TraceSampleRate float64
+	// SlowQueryThreshold always-captures (and logs, when Logger is set)
+	// traces of requests at or above this duration, independent of
+	// sampling — the slow-query log. 0 disables slow capture.
+	SlowQueryThreshold time.Duration
+	// TraceBuffer bounds the ring of retained traces behind Server.Traces
+	// and /debug/traces (default 128 once tracing is on).
+	TraceBuffer int
+	// Logger receives the server's structured records: slow-query
+	// summaries and the persistent cache's background events (merges,
+	// rotations, write errors). Nil discards them.
+	Logger *Logger
+}
+
+// traceEnabled reports whether any trace option asks for a tracer.
+func (o ServerOptions) traceEnabled() bool {
+	return o.TraceSampleRate > 0 || o.SlowQueryThreshold > 0 || o.TraceBuffer > 0
 }
 
 // served is the cached unit of the serving runtime: either a successful
@@ -103,7 +125,9 @@ type Server struct {
 	rt      *serve.Runtime[served]
 	ds      *serve.DiskStore[served] // nil without CacheDir
 	limiter *serve.Limiter
-	unhook  func() // deregisters the retrain hook; called by Close
+	tracer  *obs.Tracer // nil when tracing is off
+	log     *obs.Logger // nil discards
+	unhook  func()      // deregisters the retrain hook; called by Close
 }
 
 // Server wraps the system in a serving runtime. The system may be
@@ -114,7 +138,15 @@ type Server struct {
 // paths are the persistence options (an unopenable CacheDir, or CacheDir
 // combined with disabled caching).
 func (s *System) Server(o ServerOptions) (*Server, error) {
-	sv := &Server{sys: s}
+	sv := &Server{sys: s, log: o.Logger}
+	if o.traceEnabled() {
+		sv.tracer = obs.NewTracer(obs.Options{
+			Capacity:      o.TraceBuffer,
+			SampleRate:    o.TraceSampleRate,
+			SlowThreshold: o.SlowQueryThreshold,
+			Logger:        o.Logger,
+		})
+	}
 	// The epoch is read before the store adopts a persisted generation and
 	// re-checked after the retrain hook is live; a Learn completing in
 	// between would otherwise have notified nobody, leaving its stale
@@ -148,6 +180,8 @@ func (s *System) Server(o ServerOptions) (*Server, error) {
 			ModelTag:  s.modelTag(),
 			TTL:       o.CacheTTL,
 			SyncEvery: sync,
+			Log:       o.Logger,
+			Tracer:    sv.tracer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("kbqa: open persistent answer cache: %w", err)
@@ -237,6 +271,8 @@ func (sv *Server) Query(ctx context.Context, question string, opts ...QueryOptio
 		defer cancel()
 		cfg.timeout = 0 // the deadline lives on ctx now; don't re-arm
 	}
+	ctx, finish := sv.startTrace(ctx, "kbqa.query", question)
+	defer finish()
 	out, ok, err := sv.rt.Do(ctx, question, cfg.fingerprint(), sv.compute(cfg))
 	if err != nil {
 		return nil, err
@@ -245,7 +281,38 @@ func (sv *Server) Query(ctx context.Context, question string, opts ...QueryOptio
 		sv.rt.CountError(out.Code)
 		return nil, errorFromCode(out.Code)
 	}
-	return out.Res, nil
+	return stampTraceID(out.Res, ctx), nil
+}
+
+// startTrace opens a server-rooted trace when the server has a tracer and
+// the caller did not bring one (an HTTP middleware's trace, carried in
+// ctx, wins — the server then only contributes spans). The returned finish
+// must be called when the request completes; it is a no-op when no trace
+// was started here.
+func (sv *Server) startTrace(ctx context.Context, name, question string) (context.Context, func()) {
+	noop := func() {}
+	if sv.tracer == nil || obs.ActiveSpan(ctx) != nil {
+		return ctx, noop
+	}
+	tctx, trace := sv.tracer.Start(ctx, name)
+	if trace == nil {
+		return ctx, noop
+	}
+	trace.Root().SetAttr("question", question)
+	return tctx, trace.Finish
+}
+
+// stampTraceID returns res carrying the context's trace ID. Cached
+// Results are shared between concurrent callers and must stay read-only,
+// so a differing ID is stamped onto a shallow copy, never in place.
+func stampTraceID(res *Result, ctx context.Context) *Result {
+	tid := obs.TraceID(ctx)
+	if res == nil || tid == "" || res.TraceID == tid {
+		return res
+	}
+	r2 := *res
+	r2.TraceID = tid
+	return &r2
 }
 
 // BatchResult is one slot of a QueryBatch reply, aligned with the input
@@ -269,13 +336,15 @@ func (sv *Server) QueryBatch(ctx context.Context, questions []string, opts ...Qu
 		defer cancel()
 		cfg.timeout = 0
 	}
+	ctx, finish := sv.startTrace(ctx, "kbqa.batch", fmt.Sprintf("[batch of %d]", len(questions)))
+	defer finish()
 	items := sv.rt.DoBatch(ctx, questions, cfg.fingerprint(), sv.compute(cfg))
 	out := make([]BatchResult, len(items))
 	for i, it := range items {
 		br := BatchResult{Question: it.Question, Err: it.Err}
 		if it.Err == nil {
 			if it.OK {
-				br.Result = it.Answer.Res
+				br.Result = stampTraceID(it.Answer.Res, ctx)
 			} else {
 				sv.rt.CountError(it.Answer.Code)
 				br.Err = errorFromCode(it.Answer.Code)
@@ -354,6 +423,19 @@ const PrometheusContentType = serve.PrometheusContentType
 
 // System returns the wrapped system (for /stats-style introspection).
 func (sv *Server) System() *System { return sv.sys }
+
+// Tracer returns the server's request tracer, nil when tracing is off.
+// Hand it to HTTP middleware that wants to root traces itself (and set
+// X-Kbqa-Trace); Server.Query joins a caller-started trace instead of
+// opening its own.
+func (sv *Server) Tracer() *Tracer { return sv.tracer }
+
+// Traces returns the retained request traces, newest first — the
+// /debug/traces payload. Empty when tracing is off.
+func (sv *Server) Traces() []TraceSnapshot { return sv.tracer.Snapshot() }
+
+// Logger returns the logger the server was built with (nil discards).
+func (sv *Server) Logger() *Logger { return sv.log }
 
 // Generation returns the model generation keying new cache entries; it
 // starts from the persisted generation when CacheDir is set and bumps on
