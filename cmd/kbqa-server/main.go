@@ -421,9 +421,26 @@ type tracesResponse struct {
 	Traces []kbqa.TraceSnapshot `json:"traces"`
 }
 
+// traceErrorResponse is the /debug/traces?id= miss body.
+type traceErrorResponse struct {
+	Error string `json:"error"`
+}
+
 // handleTraces serves the retained request traces, newest first. Empty
-// (not an error) when tracing is off.
-func (s *server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+// (not an error) when tracing is off. With ?id=<trace id> it returns that
+// single trace, or a 404 JSON body when the ring no longer holds it
+// (never retained, or evicted since).
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		snap, ok := s.srv.FindTrace(id)
+		if !ok {
+			s.writeJSONStatus(w, http.StatusNotFound,
+				traceErrorResponse{Error: fmt.Sprintf("trace %q not found (not retained, or evicted from the ring)", id)})
+			return
+		}
+		s.writeJSON(w, snap)
+		return
+	}
 	traces := s.srv.Traces()
 	if traces == nil {
 		traces = []kbqa.TraceSnapshot{}

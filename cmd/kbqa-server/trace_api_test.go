@@ -355,3 +355,39 @@ func TestAskTimingsSurfaced(t *testing.T) {
 		t.Errorf("total timing %v, want > 0", resp.Timings.Total)
 	}
 }
+
+// TestTraceByIDLookup covers the single-trace endpoint: /debug/traces?id=
+// returns exactly the identified trace as a bare TraceSnapshot, and a
+// 404 JSON error body when the ring does not hold the ID.
+func TestTraceByIDLookup(t *testing.T) {
+	s, ts := tracedServer(t, nil)
+	_ = s
+
+	var ask askResponse
+	r, _ := getJSON(t, ts.URL+"/ask?q="+escapeQuery("who directed Inception"), &ask)
+	id := r.Header.Get("X-Kbqa-Trace")
+	if id == "" {
+		t.Fatal("traced request carries no X-Kbqa-Trace header")
+	}
+
+	var snap kbqa.TraceSnapshot
+	resp, body := getJSON(t, ts.URL+"/debug/traces?id="+id, &snap)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces?id=%s: status %d, body %s", id, resp.StatusCode, body)
+	}
+	if snap.ID != id {
+		t.Fatalf("lookup returned trace %q, want %q", snap.ID, id)
+	}
+	if snap.Root.Name == "" {
+		t.Fatalf("single-trace lookup returned an empty root span: %s", body)
+	}
+
+	var missErr traceErrorResponse
+	resp, body = getJSON(t, ts.URL+"/debug/traces?id=no-such-trace", &missErr)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bogus id: status %d, want 404 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(missErr.Error, "no-such-trace") {
+		t.Fatalf("404 body does not name the missing id: %s", body)
+	}
+}

@@ -1,0 +1,20 @@
+// Command kbqa-vet is the repo's static-analysis suite, run as a
+// `go vet` tool:
+//
+//	go build -o kbqa-vet ./cmd/kbqa-vet
+//	go vet -vettool=$PWD/kbqa-vet ./...
+//
+// It enforces the runtime's recorded invariants — context propagation,
+// no blocking I/O under locks, span lifecycle, structured logging, and
+// metric naming. See the README "Static analysis" section for the
+// analyzer list and the //kbqa:nolint directive.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/kbqavet"
+)
+
+func main() {
+	analysis.Main(kbqavet.Analyzers()...)
+}

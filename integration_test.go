@@ -5,6 +5,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/eval"
@@ -131,7 +132,7 @@ func TestModelPortability(t *testing.T) {
 	}
 	before := make([]reply, len(qs))
 	for i, q := range qs {
-		ans, ok := sys.Ask(q)
+		ans, ok := sys.Ask(context.Background(), q)
 		before[i] = reply{ans.Value, ans.Predicate, ok}
 	}
 	var buf bytes.Buffer
@@ -142,7 +143,7 @@ func TestModelPortability(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, q := range qs {
-		ans, ok := sys.Ask(q)
+		ans, ok := sys.Ask(context.Background(), q)
 		if ok != before[i].ok || ans.Value != before[i].v || ans.Predicate != before[i].p {
 			t.Fatalf("answer changed after model round trip for %q: %v/%v vs %+v",
 				q, ans.Value, ans.Predicate, before[i])

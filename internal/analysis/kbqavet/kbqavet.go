@@ -1,0 +1,73 @@
+// Package kbqavet holds the five project-specific analyzers behind
+// cmd/kbqa-vet. Each encodes an invariant a prior PR established in
+// review and that the runtime's correctness now depends on:
+//
+//	ctxpropagate  caller context is threaded end to end (PR 3/6)
+//	locksync      no blocking I/O under the append mutex (PR 5)
+//	spanend       every started span/trace is ended on every path (PR 6)
+//	structuredlog all logging goes through obs.Logger (PR 6)
+//	metricname    metric names are kbqa_-prefixed consts declared once
+//
+// Suppression: //kbqa:nolint <analyzer> — justification required by
+// convention, enforced by review.
+package kbqavet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzers returns the full suite in a fixed, documented order. The
+// registry meta-test pins this set; adding an analyzer means updating
+// the README section too.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		CtxPropagate,
+		LockSync,
+		SpanEnd,
+		StructuredLog,
+		MetricName,
+	}
+}
+
+// calleeFunc resolves a call expression to the function or method object
+// it invokes, or nil for calls through function-typed values, builtins,
+// and type conversions. Methods of generic types resolve to their
+// Origin, so facts keyed by the declaration object match call sites on
+// any instantiation.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn != nil {
+		if o := fn.Origin(); o != nil {
+			fn = o
+		}
+	}
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named function of the named
+// package (by import path).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,350 @@
+package kbqavet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// LockSync flags blocking I/O — (*os.File).Sync, os.Rename, anything in
+// package net — executed while a sync.Mutex/RWMutex is held. PR 5's core
+// invariant: the persist.go append mutex protects an in-memory rotation,
+// so fsync and rename must happen off the critical section or every
+// writer stalls behind the disk. The check is package-local and
+// transitive: a function that (directly or through same-package calls)
+// performs blocking I/O must not be called under a lock.
+//
+// A deliberate exception (e.g. rotateLocked's O(1) metadata rename)
+// carries //kbqa:nolint locksync — which also stops the fact from
+// propagating to the function's callers.
+var LockSync = &analysis.Analyzer{
+	Name: "locksync",
+	Doc: "flag blocking I/O (fsync, rename, net) inside a mutex critical section\n\n" +
+		"Locks in this runtime guard in-memory state; disk and network waits must not ride inside them.",
+	Run: runLockSync,
+}
+
+// blockedFunc records why a function counts as blocking: the description
+// of one banned call it (transitively) performs.
+type blockedFunc struct {
+	why string
+}
+
+func runLockSync(pass *analysis.Pass) error {
+	// Pass 1: facts. For every function in the package, record whether it
+	// directly performs a banned call (suppressed call sites don't count —
+	// a vetted exception must not poison callers), and which same-package
+	// functions it calls.
+	direct := make(map[*types.Func]string)
+	calls := make(map[*types.Func][]*types.Func)
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil {
+					return true
+				}
+				if why, banned := bannedCall(fn); banned {
+					if !pass.Suppressed(pass.Analyzer.Name, call.Pos()) {
+						if _, seen := direct[obj]; !seen {
+							direct[obj] = why
+						}
+					}
+					return true
+				}
+				if fn.Pkg() == pass.Pkg {
+					calls[obj] = append(calls[obj], fn)
+				}
+				return true
+			})
+		}
+	}
+
+	// Fixpoint: propagate blocking facts through same-package calls.
+	blocking := make(map[*types.Func]blockedFunc, len(direct))
+	for fn, why := range direct {
+		blocking[fn] = blockedFunc{why: why}
+	}
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range calls {
+			if _, done := blocking[caller]; done {
+				continue
+			}
+			for _, callee := range callees {
+				if b, ok := blocking[callee]; ok {
+					blocking[caller] = blockedFunc{why: callee.Name() + " → " + b.why}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 2: walk each function body tracking which mutexes are held
+	// (lexically, branch-sensitive) and report banned or blocking calls
+	// inside a critical section.
+	for _, fd := range decls {
+		w := &lockWalker{pass: pass, blocking: blocking}
+		w.walkBody(fd.Body.List, map[string]bool{})
+	}
+	return nil
+}
+
+// bannedCall classifies fn as blocking I/O.
+func bannedCall(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	switch path := fn.Pkg().Path(); {
+	case path == "os" && fn.Name() == "Rename":
+		return "os.Rename", true
+	case path == "os" && fn.Name() == "Sync" && isMethodOf(fn, "File"):
+		return "(*os.File).Sync", true
+	case path == "net" || (len(path) > 4 && path[:4] == "net/"):
+		return path + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+func isMethodOf(fn *types.Func, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// lockWalker tracks held mutexes through a function body. Keys are the
+// printed receiver expression of the Lock call (e.g. "s.mu"), so the
+// matching Unlock releases exactly what Lock acquired. Branch bodies get
+// copies of the held set: an unlock on one branch doesn't release the
+// mutex for code after the branch.
+type lockWalker struct {
+	pass     *analysis.Pass
+	blocking map[*types.Func]blockedFunc
+}
+
+func (w *lockWalker) walkBody(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		// A deferred Unlock runs at return: the mutex stays held for the
+		// rest of the body, which is exactly what leaving it in the set
+		// models. Other deferred calls run at return too — whether the
+		// lock is held then depends on defer ordering; keep it simple and
+		// only scan the argument expressions evaluated now.
+		if key, kind := mutexOp(w.pass.TypesInfo, s.Call); kind == opUnlock {
+			_ = key // held until function end
+			return
+		}
+		for _, arg := range s.Call.Args {
+			w.scanExpr(arg, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		w.walkBody(s.Body.List, copyHeld(held))
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			w.walkBody(e.List, copyHeld(held))
+		case *ast.IfStmt:
+			w.walkStmt(e, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		w.walkBody(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		w.walkBody(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkBody(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkBody(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkBody(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkBody(s.List, held)
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the critical section;
+		// only its argument expressions evaluate now.
+		for _, arg := range s.Call.Args {
+			w.scanExpr(arg, held)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // runs later, outside this lexical section
+			case ast.Stmt:
+				if n != s {
+					// Nested statements of compound forms are handled by
+					// the cases above; anything reaching here is a simple
+					// statement whose sub-statements share the held set.
+					w.walkStmt(n, held)
+					return false
+				}
+			case *ast.CallExpr:
+				w.checkCall(n, held)
+			}
+			return true
+		})
+	}
+}
+
+// scanExpr reports offending calls inside an expression (no lock-state
+// changes can occur there that outlive the expression, but a blocking
+// call in a condition still runs under the lock).
+func (w *lockWalker) scanExpr(e ast.Expr, held map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.checkCall(call, held)
+		}
+		return true
+	})
+}
+
+// checkCall updates lock state for Lock/Unlock calls and reports banned
+// or transitively blocking calls while any mutex is held.
+func (w *lockWalker) checkCall(call *ast.CallExpr, held map[string]bool) {
+	if key, kind := mutexOp(w.pass.TypesInfo, call); kind != opNone {
+		if kind == opLock {
+			held[key] = true
+		} else {
+			delete(held, key)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if why, banned := bannedCall(fn); banned {
+		w.pass.Reportf(call.Pos(), "blocking %s inside critical section (%s held); move the I/O off the lock", why, heldNames(held))
+		return
+	}
+	if b, ok := w.blocking[fn]; ok {
+		w.pass.Reportf(call.Pos(), "call to %s, which performs blocking I/O (%s), inside critical section (%s held)", fn.Name(), b.why, heldNames(held))
+	}
+}
+
+type mutexOpKind int
+
+const (
+	opNone mutexOpKind = iota
+	opLock
+	opUnlock
+)
+
+// mutexOp classifies call as a Lock/RLock or Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex and returns the receiver expression key.
+func mutexOp(info *types.Info, call *ast.CallExpr) (string, mutexOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var kind mutexOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	if !isMethodOf(fn, "Mutex") && !isMethodOf(fn, "RWMutex") {
+		return "", opNone
+	}
+	return types.ExprString(sel.X), kind
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	// Deterministic output for tests and stable CI diffs.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += ", " + n
+	}
+	return out
+}

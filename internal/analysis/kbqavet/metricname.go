@@ -1,0 +1,103 @@
+package kbqavet
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// MetricName enforces the metric-naming contract: every metric name is a
+// `kbqa_`-prefixed, snake_case string declared exactly once as a
+// package-level const, and code refers to the const — never to a
+// duplicate inline literal. One declaration site is what keeps the
+// Snapshot JSON, the Prometheus exposition, and the dashboards pointed
+// at the same family names; an inline "kbqa_…" literal is a name fork
+// waiting to drift. (Snapshot↔exposition equality itself is asserted by
+// TestMetricNameConstsMatchExposition in internal/serve.)
+var MetricName = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "metric names must be kbqa_-prefixed snake_case consts declared once; no inline name literals\n\n" +
+		"One const per metric family keeps Snapshot, Prometheus exposition, and dashboards in sync.",
+	Run: runMetricName,
+}
+
+var metricNameRE = regexp.MustCompile(`^kbqa_[a-z0-9_]+$`)
+
+func runMetricName(pass *analysis.Pass) error {
+	// Pass 1: collect package-level const string declarations whose value
+	// looks like a metric name, flagging malformed names and duplicate
+	// declarations of the same name.
+	constLits := make(map[*ast.BasicLit]bool)
+	declaredAt := make(map[string]string) // metric name -> const identifier
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					lit, ok := ast.Unparen(v).(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					val, err := strconv.Unquote(lit.Value)
+					//kbqa:nolint metricname — the prefix itself, not a metric name
+					if err != nil || !strings.HasPrefix(val, "kbqa_") {
+						continue
+					}
+					constLits[lit] = true
+					name := "_"
+					if i < len(vs.Names) {
+						name = vs.Names[i].Name
+					}
+					if !metricNameRE.MatchString(val) {
+						pass.Reportf(lit.Pos(), "metric name %q is not snake_case (want %s)", val, metricNameRE)
+					}
+					if prev, dup := declaredAt[val]; dup {
+						pass.Reportf(lit.Pos(), "metric name %q already declared as const %s; declare each metric name exactly once", val, prev)
+					} else {
+						declaredAt[val] = name
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: any other kbqa_-prefixed string literal in non-test code is
+	// an inline metric name that must reference the const instead.
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || constLits[lit] {
+				return true
+			}
+			val, err := strconv.Unquote(lit.Value)
+			//kbqa:nolint metricname — the prefix itself, not a metric name
+			if err != nil || !strings.HasPrefix(val, "kbqa_") {
+				return true
+			}
+			if c, ok := declaredAt[val]; ok {
+				pass.Reportf(lit.Pos(), "inline metric name %q; use the const %s", val, c)
+			} else {
+				pass.Reportf(lit.Pos(), "inline metric name %q; declare it once as a kbqa_-prefixed const and reference that", val)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Fixture for the ctxpropagate analyzer: package main is exempt — a
+// process entry point is where root contexts are born.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	run(ctx)
+}
+
+func run(ctx context.Context) {
+	c := context.TODO()
+	_ = c
+}

@@ -1,0 +1,46 @@
+// Fixture for the ctxpropagate analyzer: library (non-main) package.
+package ctxprop
+
+import "context"
+
+// A context parameter in scope makes Background an unambiguous drop.
+func Query(ctx context.Context, q string) error {
+	c := context.Background() // want `context.Background\(\) drops the caller's context "ctx" in scope`
+	_ = c
+	return nil
+}
+
+// No context in scope: still flagged, but as a shim to fix or annotate.
+func Shim(q string) error {
+	c := context.TODO() // want `context.TODO\(\) in library code`
+	_ = c
+	return nil
+}
+
+// Propagating the caller's context is the clean pattern.
+func Good(ctx context.Context, q string) context.Context {
+	return ctx
+}
+
+// A closure sees the enclosing function's context parameter.
+func InClosure(ctx context.Context) func() {
+	return func() {
+		c := context.Background() // want `drops the caller's context "ctx" in scope`
+		_ = c
+	}
+}
+
+// Method receivers and shadowing do not confuse the scope walk: the
+// innermost binding wins for the name in the message.
+func Nested(outer context.Context) func(context.Context) {
+	return func(inner context.Context) {
+		c := context.Background() // want `drops the caller's context "inner" in scope`
+		_ = c
+	}
+}
+
+// A deliberate fresh root carries the directive plus justification.
+func BackgroundWorker() context.Context {
+	//kbqa:nolint ctxpropagate — detached worker root by design (fixture)
+	return context.Background()
+}

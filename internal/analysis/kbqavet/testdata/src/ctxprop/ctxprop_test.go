@@ -1,0 +1,8 @@
+// Test files are exempt wholesale: no diagnostics expected here.
+package ctxprop
+
+import "context"
+
+func helperForTests() context.Context {
+	return context.Background()
+}

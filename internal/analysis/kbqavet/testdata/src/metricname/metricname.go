@@ -1,0 +1,39 @@
+// Fixture for the metricname analyzer.
+package metricname
+
+import "fmt"
+
+const (
+	metricServed = "kbqa_served_total"
+	metricStale  = "kbqa_stale_total"
+	metricBad    = "kbqa_Served-Total" // want `metric name "kbqa_Served-Total" is not snake_case`
+	metricDup    = "kbqa_served_total" // want `metric name "kbqa_served_total" already declared as const metricServed`
+	helpPrefix   = "# HELP "           // not a metric name: ignored
+)
+
+// Referencing the consts is the required shape.
+func exposition() string {
+	var b []byte
+	b = fmt.Appendf(b, "# TYPE %s counter\n%s %d\n", metricServed, metricServed, 1)
+	b = fmt.Appendf(b, "%s %d\n", metricStale, 0)
+	return string(b)
+}
+
+// An inline literal that duplicates a declared const must use the const.
+func inlineDup() string {
+	return "kbqa_served_total" // want `inline metric name "kbqa_served_total"; use the const metricServed`
+}
+
+// An inline literal with no const at all must be hoisted to one.
+func inlineNew() string {
+	return "kbqa_orphan_total" // want `inline metric name "kbqa_orphan_total"; declare it once`
+}
+
+// A vetted exception carries the directive.
+func vetted() string {
+	//kbqa:nolint metricname — fixture exception
+	return "kbqa_legacy_total"
+}
+
+var _ = []string{metricBad, metricDup, helpPrefix}
+var _ = []any{exposition, inlineDup, inlineNew, vetted}

@@ -1,0 +1,126 @@
+// Fixture for the spanend analyzer. Local Span/Trace types stand in for
+// internal/obs: the analyzer matches by creator/closer name and result
+// type name, not by import path.
+package spanend
+
+import "context"
+
+type Span struct{}
+
+func (s *Span) End()                    {}
+func (s *Span) SetInt(k string, v int)  {}
+func (s *Span) Child(name string) *Span { return &Span{} }
+
+type Trace struct{}
+
+func (t *Trace) Finish() {}
+
+type Tracer struct{}
+
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Trace) {
+	return ctx, &Trace{}
+}
+
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, nil
+}
+
+// Never ended: the canonical leak.
+func leak(ctx context.Context) {
+	_, sp := StartSpan(ctx, "leak") // want `span sp is not ended on every path`
+	sp.SetInt("n", 1)
+}
+
+// Deferred close settles every path.
+func deferred(ctx context.Context) {
+	_, sp := StartSpan(ctx, "ok")
+	defer sp.End()
+	sp.SetInt("n", 2)
+}
+
+// Explicit close on the straight-line path.
+func explicit(ctx context.Context) {
+	_, sp := StartSpan(ctx, "ok")
+	sp.SetInt("n", 3)
+	sp.End()
+}
+
+// Ended on only one branch: the fall-through path leaks.
+func oneBranch(ctx context.Context, cond bool) {
+	_, sp := StartSpan(ctx, "half") // want `span sp is not ended on every path`
+	if cond {
+		sp.End()
+	}
+}
+
+// Ended on both branches is complete.
+func bothBranches(ctx context.Context, cond bool) {
+	_, sp := StartSpan(ctx, "ok")
+	if cond {
+		sp.End()
+	} else {
+		sp.End()
+	}
+}
+
+// The obs API returns nil spans when tracing is off and End is
+// nil-safe, so the nil-guarded close is the idiomatic explicit form.
+func nilGuard(ctx context.Context) {
+	_, sp := StartSpan(ctx, "ok")
+	if sp != nil {
+		sp.SetInt("n", 4)
+		sp.End()
+	}
+}
+
+// Traces use Finish; a tracer result left open is flagged the same way.
+func traceLeak(ctx context.Context, tr *Tracer) context.Context {
+	ctx, t := tr.Start(ctx, "leak") // want `span t is not ended on every path`
+	_ = t
+	return ctx
+}
+
+// Returning the closer hands the obligation to the caller.
+func escapeReturn(ctx context.Context, tr *Tracer) func() {
+	_, t := tr.Start(ctx, "handoff")
+	return t.Finish
+}
+
+// Capturing the span in a closure transfers ownership.
+func escapeClosure(ctx context.Context) func() {
+	_, sp := StartSpan(ctx, "handoff")
+	return func() { sp.End() }
+}
+
+// Passing the span to another function transfers ownership.
+func escapeArg(ctx context.Context) {
+	_, sp := StartSpan(ctx, "handoff")
+	closeLater(sp)
+}
+
+func closeLater(sp *Span) {
+	if sp != nil {
+		sp.End()
+	}
+}
+
+// Discarding the handle can never be ended.
+func discard(ctx context.Context) context.Context {
+	ctx, _ = StartSpan(ctx, "gone") // want `StartSpan result discarded`
+	return ctx
+}
+
+// Child spans carry the same obligation.
+func child(ctx context.Context) {
+	_, sp := StartSpan(ctx, "parent")
+	defer sp.End()
+	cs := sp.Child("step") // want `span cs is not ended on every path`
+	cs.SetInt("n", 5)
+}
+
+// A vetted handoff the analyzer cannot see is annotated.
+func vetted(ctx context.Context, sink chan *Span) {
+	//kbqa:nolint spanend — collector goroutine ends it (fixture)
+	_, sp := StartSpan(ctx, "vetted")
+	sp.SetInt("n", 6)
+}

@@ -1,0 +1,30 @@
+// Fixture for the structuredlog analyzer: library package.
+package structlog
+
+import (
+	"fmt"
+	"log"
+)
+
+func bad(v any) {
+	log.Printf("v=%v", v) // want `log\.Printf in library code; use obs\.Logger`
+	log.Println("event")  // want `log\.Println in library code`
+	fmt.Println("hello")  // want `fmt\.Println in library code writes to stdout`
+	fmt.Printf("%v", v)   // want `fmt\.Printf in library code writes to stdout`
+	print("x")            // want `builtin print writes to stderr unstructured`
+	println("y")          // want `builtin println writes to stderr unstructured`
+}
+
+// Formatting that returns strings (or writes to an explicit writer) is
+// fine — the ban is on process-stream output, not on fmt.
+func good(v any) string {
+	var b []byte
+	b = fmt.Appendf(b, "v=%v", v)
+	return fmt.Sprintf("%s", b)
+}
+
+// A vetted exception carries the directive.
+func vetted() {
+	//kbqa:nolint structuredlog — fixture exception
+	log.Println("boot")
+}

@@ -1,0 +1,26 @@
+// Fixture for the structuredlog analyzer: package main. fmt.Print* is
+// the program's stdout interface; log.* is tolerated only in the
+// flag-parse-and-die paths (main, usage).
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+func main() {
+	fmt.Println("starting")
+	log.Fatalf("bad flags: %v", usageText())
+}
+
+func usage() {
+	log.Println(usageText())
+}
+
+func serve() {
+	fmt.Println("listening") // CLI output: allowed in package main
+	log.Println("started")   // want `log\.Println outside main/usage; past flag parsing, use obs\.Logger`
+	println("dbg")           // want `builtin println writes to stderr unstructured`
+}
+
+func usageText() string { return "usage: prog [flags]" }

@@ -130,6 +130,7 @@ func NewEngine(kb rdf.Graph, tax *concept.Taxonomy, model *learn.Model, stats *d
 	e := &Engine{KB: kb, Taxonomy: tax, Model: model}
 	e.sortedTemplates = sortedTemplateKeys(model)
 	if stats != nil {
+		//kbqa:nolint ctxpropagate — construction-time warmup, not a request path
 		e.Decomposer = e.decomposerFor(context.Background(), nil)
 		e.Decomposer.Stats = stats
 	}
@@ -239,6 +240,7 @@ func (tm *Timings) lapProbe(start time.Time) {
 // Answer cannot be cancelled and collapses the failure stages into one
 // bool; prefer AnswerCtx or AnswerTopK for serving traffic.
 func (e *Engine) Answer(question string) (Answer, bool) {
+	//kbqa:nolint ctxpropagate — documented ctx-less shim; serving uses AnswerCtx
 	ans, _, err := e.answer(context.Background(), question, nil, 0)
 	return ans, err == nil
 }
@@ -265,6 +267,7 @@ func (e *Engine) AnswerTopK(ctx context.Context, question string, k int) (Answer
 // AnswerTimed is Answer with per-stage latency attribution, the engine's
 // hook for the serving runtime's metrics pipeline.
 func (e *Engine) AnswerTimed(question string) (Answer, Timings, bool) {
+	//kbqa:nolint ctxpropagate — documented ctx-less shim; serving uses AnswerTopKTimed
 	ans, _, tm, err := e.AnswerTopKTimed(context.Background(), question, 0)
 	return ans, tm, err == nil
 }
@@ -365,6 +368,7 @@ func (e *Engine) answer(ctx context.Context, question string, tm *Timings, k int
 
 // AnswerBFQ runs Eq (7) on a binary factoid question.
 func (e *Engine) AnswerBFQ(question string) (Answer, bool) {
+	//kbqa:nolint ctxpropagate — documented ctx-less shim over answerBFQ
 	ans, _, err := e.answerBFQ(context.Background(), question, nil)
 	return ans, err == nil
 }

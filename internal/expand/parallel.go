@@ -21,6 +21,7 @@ import (
 // wall-clock drops toward the largest shard's scan time, which is what
 // BenchmarkExpandParallel measures across GOMAXPROCS.
 func ExpandParallel(ss *rdf.ShardedStore, cfg Config) *Result {
+	//kbqa:nolint ctxpropagate — ctx-less compat shim; traced callers use ExpandParallelCtx
 	return ExpandParallelCtx(context.Background(), ss, cfg)
 }
 

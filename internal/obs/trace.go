@@ -372,6 +372,24 @@ func (tr *Tracer) Snapshot() []TraceSnapshot {
 	return out
 }
 
+// Find returns the retained trace with the given ID, if the ring still
+// holds it. IDs come from TraceSnapshot.ID (also surfaced by the slow-query
+// log and Trace.ID); a miss means the trace was never retained or has been
+// evicted. Nil-safe.
+func (tr *Tracer) Find(id string) (TraceSnapshot, bool) {
+	if tr == nil || id == "" {
+		return TraceSnapshot{}, false
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for i := range tr.ring {
+		if tr.ring[i].ID == id {
+			return tr.ring[i], true
+		}
+	}
+	return TraceSnapshot{}, false
+}
+
 // Stats reports lifetime tracer counters: traces started, traces
 // retained, and the current ring occupancy.
 func (tr *Tracer) Stats() (started, retained uint64, buffered int) {

@@ -249,3 +249,32 @@ func BenchmarkStartSpanTraced(b *testing.B) {
 		b.Fatal("trace lost")
 	}
 }
+
+func TestTracerFindByID(t *testing.T) {
+	tr := NewTracer(Options{Capacity: 3, SampleRate: 1})
+	ids := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		_, trace := tr.Start(context.Background(), "q")
+		ids = append(ids, trace.ID())
+		trace.Finish()
+	}
+	// The ring holds the newest three; the first two were evicted.
+	for _, id := range ids[2:] {
+		snap, ok := tr.Find(id)
+		if !ok || snap.ID != id {
+			t.Fatalf("Find(%s) = (%q, %v), want hit", id, snap.ID, ok)
+		}
+	}
+	for _, id := range ids[:2] {
+		if _, ok := tr.Find(id); ok {
+			t.Fatalf("Find(%s) hit an evicted trace", id)
+		}
+	}
+	if _, ok := tr.Find(""); ok {
+		t.Fatal("Find(\"\") must miss")
+	}
+	var nilTr *Tracer
+	if _, ok := nilTr.Find(ids[4]); ok {
+		t.Fatal("nil tracer Find must miss")
+	}
+}

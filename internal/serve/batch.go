@@ -42,8 +42,10 @@ func (r *Runtime[A]) DoBatch(ctx context.Context, questions []string, fingerprin
 
 // RunBatch is the standalone batch executor for callers without a Runtime:
 // it applies the same bounded fan-out and order preservation directly over
-// an Ask-shaped engine, with no caching or deduplication.
-func RunBatch[A any](ctx context.Context, questions []string, workers int, ask func(question string) (A, bool)) []BatchItem[A] {
+// an Ask-shaped engine, with no caching or deduplication. The batch
+// context reaches every ask call, so cancellation stops in-flight work,
+// not just undistributed slots.
+func RunBatch[A any](ctx context.Context, questions []string, workers int, ask func(ctx context.Context, question string) (A, bool)) []BatchItem[A] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -52,7 +54,7 @@ func RunBatch[A any](ctx context.Context, questions []string, workers int, ask f
 			var zero A
 			return zero, false, err
 		}
-		a, ok := ask(q)
+		a, ok := ask(ctx, q)
 		return a, ok, nil
 	})
 }

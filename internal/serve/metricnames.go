@@ -1,0 +1,67 @@
+package serve
+
+// Metric family names of the Prometheus exposition, declared once and
+// referenced everywhere — never spelled inline (enforced by kbqa-vet's
+// metricname analyzer). Each const maps to the Snapshot field named in
+// its comment; TestMetricNameConstsMatchExposition asserts the exposition
+// emits exactly this set, so the JSON snapshot, the scrape surface, and
+// the dashboards built on either can never drift apart silently.
+const (
+	MetricBuildInfo                  = "kbqa_build_info"                    // Version/GoVersion
+	MetricUptimeSeconds              = "kbqa_uptime_seconds"                // UptimeSeconds
+	MetricRequestsTotal              = "kbqa_requests_total"                // Served
+	MetricCacheHitsTotal             = "kbqa_cache_hits_total"              // CacheHits
+	MetricCacheMissesTotal           = "kbqa_cache_misses_total"            // CacheMisses
+	MetricCachePersistHitsTotal      = "kbqa_cache_persist_hits_total"      // CachePersistHits
+	MetricCachePersistDroppedTotal   = "kbqa_cache_persist_dropped_total"   // CachePersistDropped
+	MetricCacheEvictionsTotal        = "kbqa_cache_evictions_total"         // CacheEvictions
+	MetricCacheEntries               = "kbqa_cache_entries"                 // CacheEntries
+	MetricCacheGeneration            = "kbqa_cache_generation"              // Generation
+	MetricCacheSegmentRotationsTotal = "kbqa_cache_segment_rotations_total" // CacheSegmentRotations
+	MetricCacheCompactionsTotal      = "kbqa_cache_compactions_total"       // CacheCompactions
+	MetricCacheSealedBytes           = "kbqa_cache_sealed_bytes"            // CacheSealedBytes
+	MetricCacheSyncAgeSeconds        = "kbqa_cache_sync_age_seconds"        // CacheSyncAgeSeconds
+	MetricDedupedTotal               = "kbqa_deduped_total"                 // Deduped
+	MetricRejectedTotal              = "kbqa_rejected_total"                // Rejected
+	MetricRateLimitRejectedTotal     = "kbqa_ratelimit_rejected_total"      // RateLimitRejected
+	MetricEnginePanicsTotal          = "kbqa_engine_panics_total"           // EnginePanics
+	MetricInFlight                   = "kbqa_in_flight"                     // InFlight
+	MetricGoroutines                 = "kbqa_goroutines"                    // Runtime.Goroutines
+	MetricHeapAllocBytes             = "kbqa_heap_alloc_bytes"              // Runtime.HeapAllocBytes
+	MetricHeapSysBytes               = "kbqa_heap_sys_bytes"                // Runtime.HeapSysBytes
+	MetricGCCyclesTotal              = "kbqa_gc_cycles_total"               // Runtime.GCCycles
+	MetricGCPauseSecondsTotal        = "kbqa_gc_pause_seconds_total"        // Runtime.GCPauseTotalSeconds
+	MetricQueryErrorsTotal           = "kbqa_query_errors_total"            // Errors (by code label)
+	MetricStageLatencySeconds        = "kbqa_stage_latency_seconds"         // Stages (histogram per stage label)
+)
+
+// metricFamilies enumerates every family for the exposition-completeness
+// test; keep in declaration order.
+var metricFamilies = []string{
+	MetricBuildInfo,
+	MetricUptimeSeconds,
+	MetricRequestsTotal,
+	MetricCacheHitsTotal,
+	MetricCacheMissesTotal,
+	MetricCachePersistHitsTotal,
+	MetricCachePersistDroppedTotal,
+	MetricCacheEvictionsTotal,
+	MetricCacheEntries,
+	MetricCacheGeneration,
+	MetricCacheSegmentRotationsTotal,
+	MetricCacheCompactionsTotal,
+	MetricCacheSealedBytes,
+	MetricCacheSyncAgeSeconds,
+	MetricDedupedTotal,
+	MetricRejectedTotal,
+	MetricRateLimitRejectedTotal,
+	MetricEnginePanicsTotal,
+	MetricInFlight,
+	MetricGoroutines,
+	MetricHeapAllocBytes,
+	MetricHeapSysBytes,
+	MetricGCCyclesTotal,
+	MetricGCPauseSecondsTotal,
+	MetricQueryErrorsTotal,
+	MetricStageLatencySeconds,
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMetricNameConstsMatchExposition pins the metric-naming contract the
+// kbqa-vet metricname analyzer enforces lexically: the family names the
+// Prometheus exposition emits are exactly the Metric* consts — no family
+// without a const, no const without a family. A fully-populated Snapshot
+// (persistent cache on, errors and stages present) exercises every
+// conditional emission path.
+func TestMetricNameConstsMatchExposition(t *testing.T) {
+	s := Snapshot{
+		Version:         "test",
+		GoVersion:       "gotest",
+		CachePersistent: true,
+		Errors:          map[string]uint64{"no_answer": 1},
+		Stages: map[string]HistogramSnapshot{
+			StageTotal: {Count: 1, Buckets: []Bucket{{LEMillis: 1, Count: 1}}},
+		},
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Family names come from the # TYPE lines: one per family, including
+	// histograms (whose sample lines carry _bucket/_sum/_count suffixes).
+	emitted := make(map[string]bool)
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			t.Fatalf("malformed TYPE line: %q", line)
+		}
+		if emitted[fields[2]] {
+			t.Errorf("family %s declared twice in the exposition", fields[2])
+		}
+		emitted[fields[2]] = true
+	}
+
+	declared := make(map[string]bool, len(metricFamilies))
+	for _, name := range metricFamilies {
+		if declared[name] {
+			t.Errorf("metricFamilies lists %s twice", name)
+		}
+		declared[name] = true
+	}
+
+	var missing, extra []string
+	for name := range declared {
+		if !emitted[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range emitted {
+		if !declared[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(missing) > 0 {
+		t.Errorf("consts with no exposition family: %v", missing)
+	}
+	if len(extra) > 0 {
+		t.Errorf("exposition families with no const: %v", extra)
+	}
+
+	// Every sample line must belong to a declared family: the name before
+	// the first '{' or space, with histogram suffixes folded in.
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && declared[base] {
+				name = base
+				break
+			}
+		}
+		if !declared[name] {
+			t.Errorf("sample %q does not belong to a declared metric family", line)
+		}
+	}
+}

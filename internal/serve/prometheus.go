@@ -18,67 +18,67 @@ var stageOrder = []string{StageParse, StageMatch, StageProbe, StageTotal}
 
 // WritePrometheus renders a Snapshot in the Prometheus text exposition
 // format (counters, gauges, and cumulative le-bucket histograms in
-// seconds), the scrape-friendly sibling of the JSON snapshot. Metric
-// names are prefixed kbqa_; the labelled error counter is
-// kbqa_query_errors_total{code=...}.
+// seconds), the scrape-friendly sibling of the JSON snapshot. Family
+// names are the Metric* consts of metricnames.go — declared once, used
+// here, and pinned to this exposition by test.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	var b strings.Builder
 
 	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP kbqa_%s %s\n# TYPE kbqa_%s counter\nkbqa_%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP kbqa_%s %s\n# TYPE kbqa_%s gauge\nkbqa_%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 
 	gaugeF := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP kbqa_%s %s\n# TYPE kbqa_%s gauge\nkbqa_%s %s\n", name, help, name, name, formatSeconds(v))
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatSeconds(v))
 	}
 	counterF := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP kbqa_%s %s\n# TYPE kbqa_%s counter\nkbqa_%s %s\n", name, help, name, name, formatSeconds(v))
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, formatSeconds(v))
 	}
 
-	fmt.Fprintf(&b, "# HELP kbqa_build_info Build metadata; the value is always 1.\n# TYPE kbqa_build_info gauge\nkbqa_build_info{version=%q,goversion=%q} 1\n",
-		s.Version, s.GoVersion)
-	gaugeF("uptime_seconds", "Seconds since the serving runtime was constructed.", s.UptimeSeconds)
-	counter("requests_total", "Requests that reached the cache/engine path.", s.Served)
-	counter("cache_hits_total", "Requests answered straight from the answer cache.", s.CacheHits)
-	counter("cache_misses_total", "Requests that had to consult the flight group or engine.", s.CacheMisses)
-	counter("cache_persist_hits_total", "Cache hits served by entries replayed from the persistent store (answers surviving a restart).", s.CachePersistHits)
-	counter("cache_persist_dropped_total", "Entries kept memory-only by the persistent store (unencodable or oversized); they will not survive a restart.", s.CachePersistDropped)
-	counter("cache_evictions_total", "Answers removed from the cache: displaced by capacity pressure or purged on a TTL-expired read.", s.CacheEvictions)
-	gauge("cache_entries", "Resident answer-cache entries.", int64(s.CacheEntries))
-	gauge("cache_generation", "Model generation keying new cache entries; bumps on Learn/LoadModel.", int64(s.Generation))
+	fmt.Fprintf(&b, "# HELP %s Build metadata; the value is always 1.\n# TYPE %s gauge\n%s{version=%q,goversion=%q} 1\n",
+		MetricBuildInfo, MetricBuildInfo, MetricBuildInfo, s.Version, s.GoVersion)
+	gaugeF(MetricUptimeSeconds, "Seconds since the serving runtime was constructed.", s.UptimeSeconds)
+	counter(MetricRequestsTotal, "Requests that reached the cache/engine path.", s.Served)
+	counter(MetricCacheHitsTotal, "Requests answered straight from the answer cache.", s.CacheHits)
+	counter(MetricCacheMissesTotal, "Requests that had to consult the flight group or engine.", s.CacheMisses)
+	counter(MetricCachePersistHitsTotal, "Cache hits served by entries replayed from the persistent store (answers surviving a restart).", s.CachePersistHits)
+	counter(MetricCachePersistDroppedTotal, "Entries kept memory-only by the persistent store (unencodable or oversized); they will not survive a restart.", s.CachePersistDropped)
+	counter(MetricCacheEvictionsTotal, "Answers removed from the cache: displaced by capacity pressure or purged on a TTL-expired read.", s.CacheEvictions)
+	gauge(MetricCacheEntries, "Resident answer-cache entries.", int64(s.CacheEntries))
+	gauge(MetricCacheGeneration, "Model generation keying new cache entries; bumps on Learn/LoadModel.", int64(s.Generation))
 	if s.CachePersistent {
-		counter("cache_segment_rotations_total", "Active-segment rotations: each sealed the segment in O(1) and handed it to the background merger.", s.CacheSegmentRotations)
-		counter("cache_compactions_total", "Completed compaction passes (background merges plus the boot-time compaction).", s.CacheCompactions)
-		gauge("cache_sealed_bytes", "Bytes in sealed segments awaiting background merge.", s.CacheSealedBytes)
-		gaugeF("cache_sync_age_seconds", "Seconds since the persistent cache's last durability point.", s.CacheSyncAgeSeconds)
+		counter(MetricCacheSegmentRotationsTotal, "Active-segment rotations: each sealed the segment in O(1) and handed it to the background merger.", s.CacheSegmentRotations)
+		counter(MetricCacheCompactionsTotal, "Completed compaction passes (background merges plus the boot-time compaction).", s.CacheCompactions)
+		gauge(MetricCacheSealedBytes, "Bytes in sealed segments awaiting background merge.", s.CacheSealedBytes)
+		gaugeF(MetricCacheSyncAgeSeconds, "Seconds since the persistent cache's last durability point.", s.CacheSyncAgeSeconds)
 	}
-	counter("deduped_total", "Cache misses resolved by joining an in-flight leader.", s.Deduped)
-	counter("rejected_total", "Requests that failed on a non-panic serving error (admission/flight deadline, or engine aborted by context).", s.Rejected)
-	counter("ratelimit_rejected_total", "Requests refused by the per-client rate limiter before entering the serving pipeline.", s.RateLimitRejected)
-	counter("engine_panics_total", "Requests that surfaced a contained engine panic.", s.EnginePanics)
-	gauge("in_flight", "Requests currently executing.", s.InFlight)
-	gauge("goroutines", "Goroutines at snapshot time.", int64(s.Runtime.Goroutines))
-	gauge("heap_alloc_bytes", "Live heap bytes at snapshot time.", int64(s.Runtime.HeapAllocBytes))
-	gauge("heap_sys_bytes", "Heap bytes obtained from the OS.", int64(s.Runtime.HeapSysBytes))
-	counter("gc_cycles_total", "Completed GC cycles.", uint64(s.Runtime.GCCycles))
-	counterF("gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", s.Runtime.GCPauseTotalSeconds)
+	counter(MetricDedupedTotal, "Cache misses resolved by joining an in-flight leader.", s.Deduped)
+	counter(MetricRejectedTotal, "Requests that failed on a non-panic serving error (admission/flight deadline, or engine aborted by context).", s.Rejected)
+	counter(MetricRateLimitRejectedTotal, "Requests refused by the per-client rate limiter before entering the serving pipeline.", s.RateLimitRejected)
+	counter(MetricEnginePanicsTotal, "Requests that surfaced a contained engine panic.", s.EnginePanics)
+	gauge(MetricInFlight, "Requests currently executing.", s.InFlight)
+	gauge(MetricGoroutines, "Goroutines at snapshot time.", int64(s.Runtime.Goroutines))
+	gauge(MetricHeapAllocBytes, "Live heap bytes at snapshot time.", int64(s.Runtime.HeapAllocBytes))
+	gauge(MetricHeapSysBytes, "Heap bytes obtained from the OS.", int64(s.Runtime.HeapSysBytes))
+	counter(MetricGCCyclesTotal, "Completed GC cycles.", uint64(s.Runtime.GCCycles))
+	counterF(MetricGCPauseSecondsTotal, "Cumulative GC stop-the-world pause.", s.Runtime.GCPauseTotalSeconds)
 
-	fmt.Fprintf(&b, "# HELP kbqa_query_errors_total Requests that returned an error, by stable code.\n")
-	fmt.Fprintf(&b, "# TYPE kbqa_query_errors_total counter\n")
+	fmt.Fprintf(&b, "# HELP %s Requests that returned an error, by stable code.\n", MetricQueryErrorsTotal)
+	fmt.Fprintf(&b, "# TYPE %s counter\n", MetricQueryErrorsTotal)
 	codes := make([]string, 0, len(s.Errors))
 	for code := range s.Errors {
 		codes = append(codes, code)
 	}
 	sort.Strings(codes)
 	for _, code := range codes {
-		fmt.Fprintf(&b, "kbqa_query_errors_total{code=%q} %d\n", code, s.Errors[code])
+		fmt.Fprintf(&b, "%s{code=%q} %d\n", MetricQueryErrorsTotal, code, s.Errors[code])
 	}
 
-	fmt.Fprintf(&b, "# HELP kbqa_stage_latency_seconds Pipeline-stage latency (parse/match/probe cover engine calls; total is end-to-end serving).\n")
-	fmt.Fprintf(&b, "# TYPE kbqa_stage_latency_seconds histogram\n")
+	fmt.Fprintf(&b, "# HELP %s Pipeline-stage latency (parse/match/probe cover engine calls; total is end-to-end serving).\n", MetricStageLatencySeconds)
+	fmt.Fprintf(&b, "# TYPE %s histogram\n", MetricStageLatencySeconds)
 	for _, stage := range stageOrder {
 		h, ok := s.Stages[stage]
 		if !ok {
@@ -90,13 +90,13 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		var cum uint64
 		for _, bk := range h.Buckets {
 			cum += bk.Count
-			fmt.Fprintf(&b, "kbqa_stage_latency_seconds_bucket{stage=%q,le=%q} %d\n",
-				stage, formatSeconds(bk.LEMillis/1e3), cum)
+			fmt.Fprintf(&b, "%s_bucket{stage=%q,le=%q} %d\n",
+				MetricStageLatencySeconds, stage, formatSeconds(bk.LEMillis/1e3), cum)
 		}
-		fmt.Fprintf(&b, "kbqa_stage_latency_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, h.Count)
-		fmt.Fprintf(&b, "kbqa_stage_latency_seconds_sum{stage=%q} %s\n",
-			stage, formatSeconds(h.MeanMillis*float64(h.Count)/1e3))
-		fmt.Fprintf(&b, "kbqa_stage_latency_seconds_count{stage=%q} %d\n", stage, h.Count)
+		fmt.Fprintf(&b, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", MetricStageLatencySeconds, stage, h.Count)
+		fmt.Fprintf(&b, "%s_sum{stage=%q} %s\n",
+			MetricStageLatencySeconds, stage, formatSeconds(h.MeanMillis*float64(h.Count)/1e3))
+		fmt.Fprintf(&b, "%s_count{stage=%q} %d\n", MetricStageLatencySeconds, stage, h.Count)
 	}
 
 	_, err := io.WriteString(w, b.String())

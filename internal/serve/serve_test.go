@@ -352,7 +352,7 @@ func TestBatchContextCancelled(t *testing.T) {
 }
 
 func TestRunBatchStandalone(t *testing.T) {
-	items := RunBatch(context.Background(), []string{"a", "b"}, 2, func(q string) (int, bool) {
+	items := RunBatch(context.Background(), []string{"a", "b"}, 2, func(_ context.Context, q string) (int, bool) {
 		return len(q), true
 	})
 	if len(items) != 2 || items[0].Answer != 1 || !items[1].OK {
@@ -465,7 +465,7 @@ func TestBatchContainsEnginePanic(t *testing.T) {
 
 	// The standalone executor (no flight group in front) must contain the
 	// panic in the worker itself.
-	raw := RunBatch(context.Background(), []string{"a", "poison"}, 2, func(q string) (string, bool) {
+	raw := RunBatch(context.Background(), []string{"a", "poison"}, 2, func(_ context.Context, q string) (string, bool) {
 		if q == "poison" {
 			panic("pathological question")
 		}

@@ -233,14 +233,15 @@ func (s *System) notifyRetrain() {
 }
 
 // Ask answers a question (BFQ or complex). ok is false when the system has
-// no answer.
+// no answer. The caller's context flows into Query, so cancellation and
+// trace IDs propagate exactly as they do for Query itself.
 //
 // Deprecated: use Query, which distinguishes the failure modes Ask
-// collapses into false, honours cancellation, and surfaces the ranked
-// interpretations. Ask remains as a shim and returns exactly the answer
-// Query's Result.Answer carries.
-func (s *System) Ask(question string) (Answer, bool) {
-	res, err := s.Query(context.Background(), question, WithoutVariants(), WithTopK(0))
+// collapses into false and surfaces the ranked interpretations. Ask
+// remains as a shim and returns exactly the answer Query's Result.Answer
+// carries.
+func (s *System) Ask(ctx context.Context, question string) (Answer, bool) {
+	res, err := s.Query(ctx, question, WithoutVariants(), WithTopK(0))
 	if err != nil || res.Answer == nil {
 		return Answer{}, false
 	}
@@ -390,17 +391,18 @@ type ComplexQuestion struct {
 
 // Fallback composes this system with a secondary QA system: questions KBQA
 // cannot answer are forwarded (the hybrid scheme of Sec 7.3.1). The
-// returned function answers like Ask.
+// returned function answers like Ask and threads its context through both
+// stages.
 //
 // Deprecated: use Chain, which composes any number of Answerers, keeps
 // typed errors, and aborts on context expiry instead of burning the
 // remaining budget on fallbacks.
-func (s *System) Fallback(secondary func(q string) (string, bool)) func(q string) (Answer, bool) {
-	return func(q string) (Answer, bool) {
-		if ans, ok := s.Ask(q); ok {
+func (s *System) Fallback(secondary func(ctx context.Context, q string) (string, bool)) func(ctx context.Context, q string) (Answer, bool) {
+	return func(ctx context.Context, q string) (Answer, bool) {
+		if ans, ok := s.Ask(ctx, q); ok {
 			return ans, true
 		}
-		if v, ok := secondary(q); ok {
+		if v, ok := secondary(ctx, q); ok {
 			return Answer{Value: v}, true
 		}
 		return Answer{}, false
@@ -408,17 +410,18 @@ func (s *System) Fallback(secondary func(q string) (string, bool)) func(q string
 }
 
 // BuiltinBaseline returns one of the reimplemented comparison systems
-// ("keyword", "synonym", "graph", "rule") with an Ask-like contract.
+// ("keyword", "synonym", "graph", "rule") with an Ask-like contract; the
+// caller's context flows into each evaluation.
 //
 // Deprecated: use Baseline, which returns the same system as an Answerer
 // for composition with Chain.
-func (s *System) BuiltinBaseline(name string) (func(q string) (string, bool), error) {
+func (s *System) BuiltinBaseline(name string) (func(ctx context.Context, q string) (string, bool), error) {
 	a, err := s.Baseline(name)
 	if err != nil {
 		return nil, err
 	}
-	return func(q string) (string, bool) {
-		res, err := a.Query(context.Background(), q)
+	return func(ctx context.Context, q string) (string, bool) {
+		res, err := a.Query(ctx, q)
 		if err != nil || res.Answer == nil {
 			return "", false
 		}

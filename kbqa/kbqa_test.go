@@ -2,6 +2,7 @@ package kbqa
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -43,7 +44,7 @@ func TestAskSampleQuestions(t *testing.T) {
 	}
 	answered := 0
 	for _, q := range qs {
-		if ans, ok := s.Ask(q); ok {
+		if ans, ok := s.Ask(context.Background(), q); ok {
 			answered++
 			if ans.Value == "" || ans.Predicate == "" || ans.Template == "" {
 				t.Errorf("incomplete answer for %q: %+v", q, ans)
@@ -57,7 +58,7 @@ func TestAskSampleQuestions(t *testing.T) {
 
 func TestAskUnanswerable(t *testing.T) {
 	s := testSystem(t)
-	if _, ok := s.Ask("what is the airspeed velocity of an unladen swallow?"); ok {
+	if _, ok := s.Ask(context.Background(), "what is the airspeed velocity of an unladen swallow?"); ok {
 		t.Error("answered an out-of-domain question")
 	}
 }
@@ -70,7 +71,7 @@ func TestComplexQuestionsAPI(t *testing.T) {
 	}
 	hits := 0
 	for _, cq := range cqs {
-		ans, ok := s.Ask(cq.Q)
+		ans, ok := s.Ask(context.Background(), cq.Q)
 		if !ok {
 			continue
 		}
@@ -116,7 +117,7 @@ func TestSaveLoadModel(t *testing.T) {
 	qs := s.SampleQuestions(5)
 	ok := false
 	for _, q := range qs {
-		if _, o := s.Ask(q); o {
+		if _, o := s.Ask(context.Background(), q); o {
 			ok = true
 		}
 	}
@@ -143,12 +144,34 @@ func TestFallbackAndBaselines(t *testing.T) {
 	hybrid := s.Fallback(syn)
 	// A question KBQA answers: hybrid result carries the predicate.
 	q := s.SampleQuestions(1)[0]
-	if ans, ok := hybrid(q); !ok || ans.Predicate == "" {
+	if ans, ok := hybrid(context.Background(), q); !ok || ans.Predicate == "" {
 		t.Errorf("hybrid lost the primary answer for %q", q)
 	}
 	// A question nobody answers.
-	if _, ok := hybrid("how do magnets work?"); ok {
+	if _, ok := hybrid(context.Background(), "how do magnets work?"); ok {
 		t.Error("hybrid answered the unanswerable")
+	}
+}
+
+// TestBaselineHonorsCancellation pins the regression kbqa-vet's
+// ctxpropagate analyzer caught on the variant eval path: BuiltinBaseline
+// closures used to evaluate under a fresh context.Background(); now the
+// caller's context reaches the baseline adapter, which refuses to answer
+// once it is cancelled.
+func TestBaselineHonorsCancellation(t *testing.T) {
+	s := testSystem(t)
+	syn, err := s.BuiltinBaseline("synonym")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.SampleQuestions(1)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := syn(ctx, q); ok {
+		t.Error("baseline answered under a cancelled context")
+	}
+	if _, ok := s.Fallback(syn)(ctx, q); ok {
+		t.Error("hybrid answered under a cancelled context")
 	}
 }
 
@@ -191,7 +214,7 @@ func TestLearnCustomCorpus(t *testing.T) {
 	}
 	answered := false
 	for _, q := range s.SampleQuestions(20) {
-		if _, ok := s.Ask(q); ok {
+		if _, ok := s.Ask(context.Background(), q); ok {
 			answered = true
 			break
 		}

@@ -434,6 +434,11 @@ func (sv *Server) Tracer() *Tracer { return sv.tracer }
 // /debug/traces payload. Empty when tracing is off.
 func (sv *Server) Traces() []TraceSnapshot { return sv.tracer.Snapshot() }
 
+// FindTrace returns the retained trace with the given ID, if the bounded
+// ring still holds it; a miss means the trace was never retained (not
+// sampled, not slow) or has since been evicted.
+func (sv *Server) FindTrace(id string) (TraceSnapshot, bool) { return sv.tracer.Find(id) }
+
 // Logger returns the logger the server was built with (nil discards).
 func (sv *Server) Logger() *Logger { return sv.log }
 
@@ -501,12 +506,14 @@ func (sv *Server) Close() error {
 
 // AskBatch is the uncached batch form of Ask: the questions fan out over a
 // bounded worker pool (GOMAXPROCS workers) and the replies come back in
-// input order. For sustained serving traffic prefer Server, which adds
+// input order. The batch context reaches every worker, so cancelling it
+// stops in-flight questions and marks undistributed slots with the
+// context error. For sustained serving traffic prefer Server, which adds
 // caching, deduplication and admission control.
 //
 // Deprecated: build a Server and use QueryBatch.
-func (s *System) AskBatch(questions []string) []BatchAnswer {
-	items := serve.RunBatch(context.Background(), questions, 0, s.Ask)
+func (s *System) AskBatch(ctx context.Context, questions []string) []BatchAnswer {
+	items := serve.RunBatch(ctx, questions, 0, s.Ask)
 	out := make([]BatchAnswer, len(items))
 	for i, it := range items {
 		out[i] = BatchAnswer{Question: it.Question, Answer: it.Answer, Answered: it.OK, Err: it.Err}

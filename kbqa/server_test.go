@@ -2,6 +2,7 @@ package kbqa
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 )
@@ -23,7 +24,7 @@ func TestServerAskMatchesSystemAsk(t *testing.T) {
 	defer sv.Close()
 	ctx := context.Background()
 	for _, q := range s.SampleQuestions(10) {
-		want, wantOK := s.Ask(q)
+		want, wantOK := s.Ask(ctx, q)
 		for i := 0; i < 2; i++ { // second round is served from the cache
 			got, gotOK, err := sv.Ask(ctx, q)
 			if err != nil {
@@ -69,12 +70,51 @@ func TestServerAskBatchOrder(t *testing.T) {
 func TestSystemAskBatch(t *testing.T) {
 	s := testSystem(t)
 	qs := s.SampleQuestions(6)
-	items := s.AskBatch(qs)
+	items := s.AskBatch(context.Background(), qs)
 	for i, it := range items {
-		want, wantOK := s.Ask(qs[i])
+		want, wantOK := s.Ask(context.Background(), qs[i])
 		if it.Answered != wantOK || it.Answer.Value != want.Value {
 			t.Errorf("slot %d = (%+v, %v), want (%+v, %v)", i, it.Answer, it.Answered, want, wantOK)
 		}
+	}
+}
+
+// TestSystemAskBatchHonorsCancellation pins the regression kbqa-vet's
+// ctxpropagate analyzer caught: AskBatch used to fan out under a fresh
+// context.Background(), so cancelling the caller's context changed
+// nothing. Now every slot must either fail with the context error or
+// never start.
+func TestSystemAskBatchHonorsCancellation(t *testing.T) {
+	s := testSystem(t)
+	qs := s.SampleQuestions(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch starts: no slot may answer
+	items := s.AskBatch(ctx, qs)
+	if len(items) != len(qs) {
+		t.Fatalf("got %d items, want %d", len(items), len(qs))
+	}
+	for i, it := range items {
+		if it.Answered {
+			t.Errorf("slot %d answered despite cancelled context", i)
+		}
+		if !errors.Is(it.Err, context.Canceled) {
+			t.Errorf("slot %d error = %v, want context.Canceled", i, it.Err)
+		}
+	}
+}
+
+// TestSystemAskHonorsCancellation: the deprecated Ask shim must forward
+// the caller's context into Query (it used to mint its own Background).
+func TestSystemAskHonorsCancellation(t *testing.T) {
+	s := testSystem(t)
+	q := s.SampleQuestions(1)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	if _, ok := s.Ask(ctx, q); !ok {
+		t.Fatalf("sanity: %q unanswered under a live context", q)
+	}
+	cancel()
+	if _, ok := s.Ask(ctx, q); ok {
+		t.Error("Ask answered under a cancelled context")
 	}
 }
 
@@ -89,7 +129,7 @@ func TestServerConcurrentParity(t *testing.T) {
 	baseline := make([]Answer, len(qs))
 	baselineOK := make([]bool, len(qs))
 	for i, q := range qs {
-		baseline[i], baselineOK[i] = s.Ask(q)
+		baseline[i], baselineOK[i] = s.Ask(context.Background(), q)
 	}
 
 	var wg sync.WaitGroup
