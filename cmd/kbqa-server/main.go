@@ -514,6 +514,8 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 0, "per-client burst allowance (0 = ceil of -rate-limit)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent engine calls (0 = 4×GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "RDF store subject-hash shards (0 = default, 1 = unsharded)")
+	shardServers := flag.String("shard-servers", "", "comma-separated kbqa-shard addresses; when set, knowledge-base index reads are served remotely (every server must have loaded the same world)")
+	shardReplicas := flag.Int("shard-replicas", 2, "replication factor of the shard placement")
 	traceSample := flag.Float64("trace-sample", 0, "probability [0,1] that a request trace is retained for /debug/traces")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "always capture and log traces of requests at or above this duration (0 = off)")
 	traceBuffer := flag.Int("trace-buffer", 0, "retained trace ring size (0 = default 128)")
@@ -527,9 +529,21 @@ func main() {
 	}
 
 	logger.Info("building world", kbqa.LogF("flavor", *flavor), kbqa.LogF("seed", *seed))
-	sys, err := kbqa.Build(kbqa.Options{Flavor: *flavor, Seed: *seed, Shards: *shards})
+	var serverList []string
+	if *shardServers != "" {
+		for _, a := range strings.Split(*shardServers, ",") {
+			serverList = append(serverList, strings.TrimSpace(a))
+		}
+	}
+	sys, err := kbqa.Build(kbqa.Options{Flavor: *flavor, Seed: *seed, Shards: *shards,
+		ShardServers: serverList, ShardReplicas: *shardReplicas})
 	if err != nil {
 		fatal("build world", kbqa.LogF("error", err))
+	}
+	defer sys.Close()
+	if len(serverList) > 0 {
+		logger.Info("distributed knowledge base", kbqa.LogF("servers", *shardServers),
+			kbqa.LogF("replicas", *shardReplicas))
 	}
 	st := sys.Stats()
 	logger.Info("world ready", kbqa.LogF("templates", st.Templates), kbqa.LogF("predicates", st.Intents))

@@ -1,0 +1,106 @@
+// Command kbqa-shard is the knowledge-base shard server of the
+// distributed serving topology: it loads the (deterministically
+// generated) world, owns a subset of its subject-hash shards, and answers
+// shardrpc index reads — probe frontiers, point lookups, cursor scans —
+// for kbqa-server frontends.
+//
+// Every shard server loads the full world; ownership is the routing
+// contract with the placement, not a storage split, so replicas need no
+// data movement and a frontend with the same -servers list computes the
+// same placement. Start N of these and point kbqa-server's
+// -shard-servers at them:
+//
+//	kbqa-shard -addr :9101 -servers :9101,:9102 -replicas 2
+//	kbqa-shard -addr :9102 -servers :9101,:9102 -replicas 2
+//	kbqa-server -shard-servers :9101,:9102 -shard-replicas 2
+package main
+
+import (
+	"context"
+	"flag"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/kbgen"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/shardrpc"
+	"repro/kbqa"
+)
+
+func main() {
+	addr := flag.String("addr", ":9101", "listen address")
+	flavor := flag.String("flavor", "freebase", "knowledge base flavor (must match the frontend)")
+	seed := flag.Int64("seed", 42, "generation seed (must match the frontend)")
+	scale := flag.Int("scale", 30, "base entities per category (must match the frontend)")
+	shards := flag.Int("shards", 4, "subject-hash shard count of the world (must match the frontend)")
+	servers := flag.String("servers", "", "comma-separated list of every shard server; with -replicas this derives the shards this server owns (empty = own all shards)")
+	self := flag.String("self", "", "this server's entry in -servers (default: -addr)")
+	replicas := flag.Int("replicas", 2, "replication factor of the placement (used with -servers)")
+	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn, or error")
+	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
+	fatal := func(msg string, fields ...obs.Field) {
+		logger.Error(msg, fields...)
+		os.Exit(1)
+	}
+
+	f, err := kbqa.ParseFlavor(*flavor)
+	if err != nil {
+		fatal("parse flavor", obs.F("error", err.Error()))
+	}
+	if *shards < 2 {
+		fatal("need -shards >= 2: a shard server serves a sharded world")
+	}
+
+	logger.Info("loading world", obs.F("flavor", *flavor), obs.F("seed", *seed),
+		obs.F("scale", *scale), obs.F("shards", *shards))
+	kb := kbgen.Generate(kbgen.Config{Seed: *seed, Flavor: f, Scale: *scale, Shards: *shards})
+	store, ok := kb.Store.(*rdf.ShardedStore)
+	if !ok {
+		fatal("world store is not sharded")
+	}
+
+	var owns []int
+	if *servers != "" {
+		list := strings.Split(*servers, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		me := *self
+		if me == "" {
+			me = *addr
+		}
+		pl, err := shardrpc.NewPlacement(list, store.NumShards(), *replicas)
+		if err != nil {
+			fatal("build placement", obs.F("error", err.Error()))
+		}
+		owns = pl.Owned(me)
+		if len(owns) == 0 {
+			fatal("this server owns no shards under the placement",
+				obs.F("self", me), obs.F("servers", *servers))
+		}
+	}
+
+	srv := shardrpc.NewServer(store, shardrpc.ServerOptions{Owns: owns, Logger: logger})
+	st := srv.Stats()
+	logger.Info("world ready", obs.F("triples", st.Triples),
+		obs.F("shards", st.NumShards), obs.F("owned", len(st.Owned)),
+		obs.F("fingerprint", shardrpc.Fingerprint(store, store.NumShards())))
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listen", obs.F("addr", *addr), obs.F("error", err.Error()))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, lis); err != nil {
+		fatal("serve", obs.F("error", err.Error()))
+	}
+	st = srv.Stats()
+	logger.Info("shard server stopped", obs.F("requests", st.Requests), obs.F("failures", st.Failures))
+}

@@ -563,6 +563,11 @@ func (e *Engine) interpretationsFrom(ctx context.Context, qToks []string, mentio
 	if len(mentions) == 0 {
 		return nil, false, nil
 	}
+	// A context-aware prober (a network-backed store) gets the caller's
+	// ctx per probe, so its deadlines and trace spans flow across the RPC
+	// boundary; its error is infrastructure failure (all replicas down,
+	// deadline exceeded) and aborts the answer rather than shrinking it.
+	remote, _ := e.KB.(ctxProber)
 	// P(e|q): uniform over all candidate entities across mentions.
 	var totalEntities int
 	for _, m := range mentions {
@@ -612,7 +617,17 @@ func (e *Engine) interpretationsFrom(ctx context.Context, qToks []string, mentio
 					if !ok {
 						continue
 					}
-					values := e.KB.PathObjects(ent, path)
+					var values []rdf.ID
+					if remote != nil {
+						values, err = remote.PathObjectsCtx(ctx, ent, path)
+						if err != nil {
+							tm.lapProbe(probeStart)
+							psp.End()
+							return nil, sawMass, err
+						}
+					} else {
+						values = e.KB.PathObjects(ent, path)
+					}
 					if len(values) == 0 {
 						continue
 					}
@@ -633,6 +648,13 @@ func (e *Engine) interpretationsFrom(ctx context.Context, qToks []string, mentio
 		}
 	}
 	return out, sawMass, nil
+}
+
+// ctxProber is the optional Graph extension a remote-backed store
+// implements: PathObjects under the caller's context, with failure
+// surfaced as an error instead of a silent empty set.
+type ctxProber interface {
+	PathObjectsCtx(ctx context.Context, subj rdf.ID, path rdf.Path) ([]rdf.ID, error)
 }
 
 // annotateShards attributes a probe span to the knowledge-base shards that

@@ -275,9 +275,10 @@ func Expand(g rdf.Graph, cfg Config) *Result {
 }
 
 // Over dispatches to the layout-appropriate expansion: ExpandParallel for
-// a multi-shard ShardedStore, Expand otherwise.
+// any multi-shard ShardedGraph (in-process ShardedStore or a remote-backed
+// layout), Expand otherwise.
 func Over(g rdf.Graph, cfg Config) *Result {
-	if ss, ok := g.(*rdf.ShardedStore); ok && ss.NumShards() > 1 {
+	if ss, ok := g.(ShardedGraph); ok && ss.NumShards() > 1 {
 		return ExpandParallel(ss, cfg)
 	}
 	return Expand(g, cfg)

@@ -8,7 +8,18 @@ import (
 	"repro/internal/rdf"
 )
 
-// ExpandParallel runs the k-round scan+join BFS over a sharded store with
+// ShardedGraph is a Graph whose subjects are partitioned into scan-able
+// shards — rdf.ShardedStore in process, or a network-backed store whose
+// ShardTriples streams a remote shard. ExpandParallel runs one worker per
+// shard over any implementation; running ShardTriples for every shard must
+// visit each triple exactly once, in ascending subject order per shard.
+type ShardedGraph interface {
+	rdf.Graph
+	NumShards() int
+	ShardTriples(i int, fn func(rdf.Triple))
+}
+
+// ExpandParallel runs the k-round scan+join BFS over a sharded graph with
 // one worker per shard. Each round, every worker scans its own shard's
 // triples (ShardTriples) and joins them against the shared frontier index —
 // the frontier is read-only during a round, so workers share it without
@@ -20,7 +31,7 @@ import (
 // The shards partition the subjects, so the per-round work splits cleanly:
 // wall-clock drops toward the largest shard's scan time, which is what
 // BenchmarkExpandParallel measures across GOMAXPROCS.
-func ExpandParallel(ss *rdf.ShardedStore, cfg Config) *Result {
+func ExpandParallel(ss ShardedGraph, cfg Config) *Result {
 	//kbqa:nolint ctxpropagate — ctx-less compat shim; traced callers use ExpandParallelCtx
 	return ExpandParallelCtx(context.Background(), ss, cfg)
 }
@@ -29,7 +40,7 @@ func ExpandParallel(ss *rdf.ShardedStore, cfg Config) *Result {
 // ctx carries a trace, each round runs under an "expand.round" span with
 // one "expand.scan" child per shard worker. The scan itself is unchanged —
 // an untraced context costs one lookup per round.
-func ExpandParallelCtx(ctx context.Context, ss *rdf.ShardedStore, cfg Config) *Result {
+func ExpandParallelCtx(ctx context.Context, ss ShardedGraph, cfg Config) *Result {
 	if cfg.MaxLen <= 0 {
 		cfg.MaxLen = 1
 	}

@@ -51,6 +51,67 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }
 
+// NewRemoteRoot opens a detached root span for serving one remote call on
+// behalf of a trace that lives in another process. traceID is the caller's
+// trace ID as carried across the wire, so TraceID(ctx) and log correlation
+// work on the serving side; the span belongs to no Tracer and is never
+// retained locally — the server Ends it and ships Snapshot() back to the
+// caller, which grafts it with AttachRemote.
+func NewRemoteRoot(traceID, name string) *Span {
+	t := &Trace{id: traceID, start: time.Now()}
+	t.root = &Span{trace: t, name: name, start: t.start}
+	return t.root
+}
+
+// ContextWithSpan returns a context carrying sp as the active span, so
+// StartSpan calls downstream create children under it. Nil-safe: a nil
+// span returns ctx unchanged (the request stays untraced).
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// Snapshot converts the span tree to its immutable form with StartNanos
+// offsets relative to this span's own start — the wire form a remote
+// server returns for AttachRemote. Zero on a nil receiver.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	return s.snapshot(s.start)
+}
+
+// AttachRemote grafts a remote span tree (another process's Snapshot)
+// under s. The remote offsets are relative to the remote root's own
+// start; when the trace is snapshotted they are rebased onto s's start,
+// which sidesteps clock skew between machines (the remote work began,
+// by construction, after s did). No-op on a nil receiver.
+func (s *Span) AttachRemote(snap SpanSnapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.remote = append(s.remote, snap)
+	s.mu.Unlock()
+}
+
+// rebaseSnapshot shifts a remote snapshot's start offsets by off
+// nanoseconds, recursively.
+func rebaseSnapshot(s SpanSnapshot, off int64) SpanSnapshot {
+	s.StartNanos += off
+	if len(s.Children) == 0 {
+		return s
+	}
+	kids := make([]SpanSnapshot, len(s.Children))
+	for i, c := range s.Children {
+		kids[i] = rebaseSnapshot(c, off)
+	}
+	s.Children = kids
+	return s
+}
+
 // Attr is one key/value annotation on a span.
 type Attr struct {
 	Key   string `json:"key"`
@@ -71,6 +132,7 @@ type Span struct {
 	ended    bool
 	attrs    []Attr
 	children []*Span
+	remote   []SpanSnapshot // grafted remote subtrees (AttachRemote)
 }
 
 func (s *Span) newChild(name string) *Span {
@@ -148,9 +210,16 @@ func (s *Span) snapshot(base time.Time) SpanSnapshot {
 		snap.Attrs = append([]Attr(nil), s.attrs...)
 	}
 	children := append([]*Span(nil), s.children...)
+	remote := append([]SpanSnapshot(nil), s.remote...)
 	s.mu.Unlock()
 	for _, c := range children {
 		snap.Children = append(snap.Children, c.snapshot(base))
+	}
+	if len(remote) > 0 {
+		off := s.start.Sub(base).Nanoseconds()
+		for _, r := range remote {
+			snap.Children = append(snap.Children, rebaseSnapshot(r, off))
+		}
 	}
 	return snap
 }

@@ -48,6 +48,29 @@ var (
 	_ Graph = (*ShardedStore)(nil)
 )
 
+// PathObjectsOver runs the shared V(e, p+) traversal over any Graph — the
+// building block for Graph implementations outside this package (e.g. a
+// network-backed store) that cannot reach the unexported helper.
+func PathObjectsOver(g Graph, subj ID, path Path) []ID {
+	return pathObjects(g, subj, path)
+}
+
+// PathsBetweenOver runs the shared bounded DFS over any Graph.
+func PathsBetweenOver(g Graph, subj, obj ID, maxLen int, endFilter func(PID) bool) []Path {
+	return pathsBetween(g, subj, obj, maxLen, endFilter)
+}
+
+// DirectOrExpandedBetweenOver runs the shared membership test over any
+// Graph.
+func DirectOrExpandedBetweenOver(g Graph, subj, obj ID, maxLen int, endFilter func(PID) bool) bool {
+	return directOrExpandedBetween(g, subj, obj, maxLen, endFilter)
+}
+
+// WriteNTriplesOver serializes any Graph in the canonical N-Triples order.
+func WriteNTriplesOver(g Graph, w io.Writer) error {
+	return writeNTriples(g, w)
+}
+
 // pathObjects is the shared V(e, p+) traversal behind
 // Store.PathObjects and ShardedStore.PathObjects.
 func pathObjects(g Graph, subj ID, path Path) []ID {

@@ -112,11 +112,19 @@ func NewShardedStore(n int) *ShardedStore {
 // NumShards returns the shard count.
 func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
 
-// shardOf maps a subject to its owning shard. Node IDs are dense, so a
-// multiplicative (Fibonacci) hash spreads consecutive IDs — which the
-// generator assigns category by category — evenly across shards.
+// ShardIndex maps a subject ID to its owning shard in an n-shard layout —
+// the one placement function shared by ShardedStore and any remote shard
+// topology, so a networked probe layer routes to exactly the shard an
+// in-process store would. Node IDs are dense, so a multiplicative
+// (Fibonacci) hash spreads consecutive IDs — which the generator assigns
+// category by category — evenly across shards.
+func ShardIndex(id ID, n int) int {
+	return int((uint32(id) * 2654435761) % uint32(n))
+}
+
+// shardOf maps a subject to its owning shard.
 func (ss *ShardedStore) shardOf(id ID) int {
-	return int((uint32(id) * 2654435761) % uint32(len(ss.shards)))
+	return ShardIndex(id, len(ss.shards))
 }
 
 // ShardOf reports which shard owns id's subject-indexed edges — the
@@ -257,6 +265,34 @@ func (ss *ShardedStore) ShardTriples(i int, fn func(Triple)) {
 // ShardSize returns the number of triples held by shard i, for balance
 // diagnostics.
 func (ss *ShardedStore) ShardSize(i int) int { return ss.shards[i].triples }
+
+// ShardSubjectIDs returns shard i's distinct subjects in ascending order —
+// the pagination index for cursor-based shard scans (a remote scan resumes
+// after the last subject of the previous page).
+func (ss *ShardedStore) ShardSubjectIDs(i int) []ID {
+	sh := &ss.shards[i]
+	subjects := make([]ID, len(sh.subjects))
+	copy(subjects, sh.subjects)
+	sort.Slice(subjects, func(a, b int) bool { return subjects[a] < subjects[b] })
+	return subjects
+}
+
+// SubjectTriples iterates the triples of one subject in the canonical scan
+// order (sorted predicate, insertion order of objects).
+func (ss *ShardedStore) SubjectTriples(subj ID, fn func(Triple)) {
+	pm, ok := ss.shards[ss.shardOf(subj)].spo[subj]
+	if !ok {
+		return
+	}
+	subjectTriples(subj, pm, fn)
+}
+
+// ShardSubjects returns shard i's subjects with (s, pred, obj), in the
+// shard-local insertion order Subjects concatenates before sorting — the
+// per-shard half of a scatter/gather Subjects.
+func (ss *ShardedStore) ShardSubjects(i int, pred PID, obj ID) []ID {
+	return ss.shards[i].pos[pred][obj]
+}
 
 // PathObjects returns every object reachable from subj by traversing the
 // path, i.e. V(e, p+) for an expanded predicate (Sec 6.1 "online part").

@@ -11,6 +11,9 @@ import (
 // questions rarely contend on the same lock. The cache stores negative
 // results too ("no answer" replies), which protects the engine from
 // repeated unanswerable questions just as well as from popular ones.
+// Capacity is a weight budget: entries cost Entry.Weight units (floored at
+// 1), so a single giant answer competes against the many small entries it
+// would otherwise evict one-for-one.
 type answerCache[A any] struct {
 	shards    []*cacheShard[A]
 	evictions atomic.Uint64
@@ -27,8 +30,19 @@ type cached[A any] struct {
 type cacheShard[A any] struct {
 	mu    sync.Mutex
 	cap   int
+	used  int // resident weight (entryWeight sum); == len(items) when unweighted
 	items map[string]*cached[A]
 	root  cached[A] // sentinel: root.next = MRU, root.prev = LRU
+}
+
+// entryWeight is an entry's capacity cost: its Weight, floored at 1 so
+// unweighted entries (and replayed ones, whose weight is not persisted)
+// keep the classic one-slot-per-entry accounting.
+func entryWeight(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
 }
 
 // newAnswerCache builds a cache of shards × perShard capacity; total
@@ -71,11 +85,11 @@ func (c *answerCache[A]) Get(key string) (Entry[A], bool) {
 	return c.shard(key).get(key)
 }
 
-// Put inserts or refreshes an entry, bumping the eviction counter when a
-// cold entry is displaced.
+// Put inserts or refreshes an entry, bumping the eviction counter for
+// every cold entry displaced (a heavy entry may displace several).
 func (c *answerCache[A]) Put(key string, e Entry[A]) {
-	if c.shard(key).put(key, e) {
-		c.evictions.Add(1)
+	if n := c.shard(key).put(key, e); n > 0 {
+		c.evictions.Add(uint64(n))
 	}
 }
 
@@ -144,25 +158,45 @@ func (s *cacheShard[A]) get(key string) (Entry[A], bool) {
 	return e.e, true
 }
 
-func (s *cacheShard[A]) put(key string, entry Entry[A]) (evicted bool) {
+// put admits (or refreshes) an entry under the shard's weight budget,
+// evicting from the LRU end until the budget holds again. It returns the
+// number of displaced entries. An entry heavier than the whole shard is
+// refused — admitting it would flush every neighbor and still not fit —
+// and any stale resident copy under the same key is dropped with it.
+func (s *cacheShard[A]) put(key string, entry Entry[A]) (evicted int) {
+	w := entryWeight(entry.Weight)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if w > s.cap {
+		if e := s.items[key]; e != nil {
+			s.used -= entryWeight(e.e.Weight)
+			s.detach(e)
+			delete(s.items, key)
+			evicted++
+		}
+		return evicted
+	}
 	if e := s.items[key]; e != nil {
+		s.used += w - entryWeight(e.e.Weight)
 		e.e = entry
 		s.detach(e)
 		s.pushFront(e)
-		return false
+	} else {
+		e := &cached[A]{key: key, e: entry}
+		s.items[key] = e
+		s.pushFront(e)
+		s.used += w
 	}
-	e := &cached[A]{key: key, e: entry}
-	s.items[key] = e
-	s.pushFront(e)
-	if len(s.items) > s.cap {
+	// The new entry sits at the MRU end and weighs at most the budget, so
+	// this loop always terminates before reaching it.
+	for s.used > s.cap {
 		lru := s.root.prev
+		s.used -= entryWeight(lru.e.Weight)
 		s.detach(lru)
 		delete(s.items, lru.key)
-		return true
+		evicted++
 	}
-	return false
+	return evicted
 }
 
 func (s *cacheShard[A]) del(key string) bool {
@@ -172,6 +206,7 @@ func (s *cacheShard[A]) del(key string) bool {
 	if e == nil {
 		return false
 	}
+	s.used -= entryWeight(e.e.Weight)
 	s.detach(e)
 	delete(s.items, key)
 	return true

@@ -20,6 +20,7 @@ const (
 	MetricCacheSegmentRotationsTotal = "kbqa_cache_segment_rotations_total" // CacheSegmentRotations
 	MetricCacheCompactionsTotal      = "kbqa_cache_compactions_total"       // CacheCompactions
 	MetricCacheSealedBytes           = "kbqa_cache_sealed_bytes"            // CacheSealedBytes
+	MetricCacheRotationPaused        = "kbqa_cache_rotation_paused"         // CacheRotationPaused
 	MetricCacheSyncAgeSeconds        = "kbqa_cache_sync_age_seconds"        // CacheSyncAgeSeconds
 	MetricDedupedTotal               = "kbqa_deduped_total"                 // Deduped
 	MetricRejectedTotal              = "kbqa_rejected_total"                // Rejected
@@ -51,6 +52,7 @@ var metricFamilies = []string{
 	MetricCacheSegmentRotationsTotal,
 	MetricCacheCompactionsTotal,
 	MetricCacheSealedBytes,
+	MetricCacheRotationPaused,
 	MetricCacheSyncAgeSeconds,
 	MetricDedupedTotal,
 	MetricRejectedTotal,

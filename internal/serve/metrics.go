@@ -48,6 +48,17 @@ var bucketBounds = [numBuckets - 1]time.Duration{
 type histogram struct {
 	sumNanos atomic.Int64
 	buckets  [numBuckets]atomic.Uint64
+	// ex is the most recent traced observation — the OpenMetrics-style
+	// exemplar linking the latency family to a concrete trace in the
+	// /debug/traces ring. Last-write-wins; untraced requests never clobber
+	// a traced sample.
+	ex atomic.Pointer[stageExemplar]
+}
+
+// stageExemplar pairs one observation with the trace that produced it.
+type stageExemplar struct {
+	traceID string
+	seconds float64
 }
 
 func (h *histogram) observe(d time.Duration) {
@@ -59,6 +70,15 @@ func (h *histogram) observe(d time.Duration) {
 		}
 	}
 	h.buckets[numBuckets-1].Add(1)
+}
+
+// observeTraced records the observation and, when the request carried a
+// sampled trace, publishes it as the family's exemplar.
+func (h *histogram) observeTraced(d time.Duration, traceID string) {
+	h.observe(d)
+	if traceID != "" {
+		h.ex.Store(&stageExemplar{traceID: traceID, seconds: d.Seconds()})
+	}
 }
 
 // Bucket is one histogram bucket in a snapshot: the count of observations
@@ -84,6 +104,12 @@ type HistogramSnapshot struct {
 	// true quantile lies somewhere above it.
 	Overflow uint64   `json:"overflow,omitempty"`
 	Buckets  []Bucket `json:"buckets,omitempty"`
+	// ExemplarTraceID/ExemplarSeconds are the most recent traced
+	// observation: the trace ID to look up in /debug/traces and the latency
+	// it recorded. Rendered as an OpenMetrics exemplar on the +Inf bucket;
+	// empty when no traced request has been observed.
+	ExemplarTraceID string  `json:"exemplar_trace_id,omitempty"`
+	ExemplarSeconds float64 `json:"exemplar_seconds,omitempty"`
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {
@@ -94,6 +120,10 @@ func (h *histogram) snapshot() HistogramSnapshot {
 		total += counts[i]
 	}
 	snap := HistogramSnapshot{Count: total, Overflow: counts[numBuckets-1]}
+	if ex := h.ex.Load(); ex != nil {
+		snap.ExemplarTraceID = ex.traceID
+		snap.ExemplarSeconds = ex.seconds
+	}
 	if total == 0 {
 		return snap
 	}
@@ -189,10 +219,10 @@ func (m *metrics) countError(code string) {
 	m.errMu.Unlock()
 }
 
-func (m *metrics) observeStages(tm StageTimings) {
-	m.parse.observe(tm.Parse)
-	m.match.observe(tm.Match)
-	m.probe.observe(tm.Probe)
+func (m *metrics) observeStages(tm StageTimings, traceID string) {
+	m.parse.observeTraced(tm.Parse, traceID)
+	m.match.observeTraced(tm.Match, traceID)
+	m.probe.observeTraced(tm.Probe, traceID)
 }
 
 // Snapshot is the JSON document served by /metrics. The counters satisfy
@@ -227,6 +257,11 @@ type Snapshot struct {
 	// sustained growth means the merger is not keeping up with rotation
 	// (kbqa_cache_sealed_bytes).
 	CacheSealedBytes int64 `json:"cache_sealed_bytes,omitempty"`
+	// CacheRotationPaused reports that segment rotation is paused because
+	// the background merger has fallen too many sealed segments behind
+	// (DiskOptions.MaxSealedBehind); the active segment keeps growing until
+	// the merger catches up (kbqa_cache_rotation_paused).
+	CacheRotationPaused bool `json:"cache_rotation_paused,omitempty"`
 	// CacheSyncAgeSeconds is the age of the persistent cache's last
 	// durability point; with CacheSyncEvery set it hovers around that
 	// period (kbqa_cache_sync_age_seconds).

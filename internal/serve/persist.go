@@ -61,20 +61,22 @@ import (
 // corrupt the log. The lock dies with the process, so a crashed owner
 // never wedges the directory.
 type DiskStore[A any] struct {
-	mem         *answerCache[A]
-	codec       Codec[A]
-	dir         string
-	meta        string
-	gen         atomic.Uint64
-	rotateEvery int64
-	ttl         time.Duration
-	encodeDrops atomic.Uint64 // entries kept memory-only (unencodable or oversized)
+	mem             *answerCache[A]
+	codec           Codec[A]
+	dir             string
+	meta            string
+	gen             atomic.Uint64
+	rotateEvery     int64
+	maxSealedBehind int
+	ttl             time.Duration
+	encodeDrops     atomic.Uint64 // entries kept memory-only (unencodable or oversized)
 
-	rotations   atomic.Uint64 // active-segment rotations
-	compactions atomic.Uint64 // completed compaction passes (merges + boot)
-	sealedBytes atomic.Int64  // bytes in sealed segments awaiting merge
-	lastSync    atomic.Int64  // UnixNano of the last durability point
-	dirDirty    atomic.Bool   // a rename/create since the last directory fsync
+	rotations      atomic.Uint64 // active-segment rotations
+	compactions    atomic.Uint64 // completed compaction passes (merges + boot)
+	sealedBytes    atomic.Int64  // bytes in sealed segments awaiting merge
+	rotationPaused atomic.Bool   // rotation held back by sealed backlog
+	lastSync       atomic.Int64  // UnixNano of the last durability point
+	dirDirty       atomic.Bool   // a rename/create since the last directory fsync
 
 	lock *os.File // flock'd lock file; held for the store's lifetime
 
@@ -136,6 +138,15 @@ type DiskOptions struct {
 	// 0 means the default (16 MiB); negative disables rotation (the log
 	// still compacts at every open).
 	CompactEvery int64
+	// MaxSealedBehind is the backpressure bound on the sealed backlog: once
+	// the background merger has fallen this many sealed segments behind,
+	// rotation pauses — the active segment keeps growing past CompactEvery —
+	// until a merge drains the backlog below the bound. Without it a write
+	// burst on a slow disk rotates faster than the merger can fold, and the
+	// sealed tier (disk space and the next open's replay) grows without
+	// bound. 0 means the default (8); negative disables the bound. Surfaced
+	// as the kbqa_cache_rotation_paused gauge.
+	MaxSealedBehind int
 	// SyncEvery is the period of the background fsync of the active
 	// segment: an answer is durable within SyncEvery of being computed.
 	// 0 (or negative) keeps the legacy behavior — durability points are
@@ -159,6 +170,9 @@ type DiskOptions struct {
 
 // defaultCompactEvery is the appended-bytes rotation threshold.
 const defaultCompactEvery = 16 << 20
+
+// defaultMaxSealedBehind is the sealed-backlog bound pausing rotation.
+const defaultMaxSealedBehind = 8
 
 const (
 	// segMagic heads every segment file; a version bump changes the suffix.
@@ -217,19 +231,23 @@ func OpenDiskStore[A any](dir string, codec Codec[A], o DiskOptions) (*DiskStore
 		return nil, err
 	}
 	s := &DiskStore[A]{
-		mem:         newAnswerCache[A](o.Shards, o.Entries),
-		codec:       codec,
-		dir:         dir,
-		meta:        o.Meta,
-		tag:         o.ModelTag,
-		rotateEvery: o.CompactEvery,
-		ttl:         o.TTL,
-		lock:        lock,
-		log:         o.Log,
-		tracer:      o.Tracer,
+		mem:             newAnswerCache[A](o.Shards, o.Entries),
+		codec:           codec,
+		dir:             dir,
+		meta:            o.Meta,
+		tag:             o.ModelTag,
+		rotateEvery:     o.CompactEvery,
+		maxSealedBehind: o.MaxSealedBehind,
+		ttl:             o.TTL,
+		lock:            lock,
+		log:             o.Log,
+		tracer:          o.Tracer,
 	}
 	if s.rotateEvery == 0 {
 		s.rotateEvery = defaultCompactEvery
+	}
+	if s.maxSealedBehind == 0 {
+		s.maxSealedBehind = defaultMaxSealedBehind
 	}
 	fail := func(err error) (*DiskStore[A], error) {
 		lock.Close()
@@ -539,6 +557,10 @@ type PersistStats struct {
 	Compactions uint64
 	// SealedBytes is the bytes sitting in sealed segments awaiting merge.
 	SealedBytes int64
+	// RotationPaused reports that rotation is held back because the merger
+	// fell MaxSealedBehind sealed segments behind; it clears when a merge
+	// drains the backlog below the bound.
+	RotationPaused bool
 	// SyncAge is the time since the last durability point (periodic sync,
 	// Flush, or a merge publish); with SyncEvery set it stays around that
 	// period.
@@ -548,10 +570,11 @@ type PersistStats struct {
 // PersistStats reports the rotation/merge/sync counters.
 func (s *DiskStore[A]) PersistStats() PersistStats {
 	return PersistStats{
-		Rotations:   s.rotations.Load(),
-		Compactions: s.compactions.Load(),
-		SealedBytes: s.sealedBytes.Load(),
-		SyncAge:     time.Since(time.Unix(0, s.lastSync.Load())),
+		Rotations:      s.rotations.Load(),
+		Compactions:    s.compactions.Load(),
+		SealedBytes:    s.sealedBytes.Load(),
+		RotationPaused: s.rotationPaused.Load(),
+		SyncAge:        time.Since(time.Unix(0, s.lastSync.Load())),
 	}
 }
 
@@ -613,6 +636,22 @@ func (s *DiskStore[A]) append(payload []byte) {
 	}
 	s.appended += int64(8 + len(payload))
 	if s.rotateEvery > 0 && s.appended >= s.rotateEvery {
+		if s.maxSealedBehind > 0 && len(s.sealed) >= s.maxSealedBehind {
+			// Backpressure: the merger is too far behind — sealing another
+			// segment would only lengthen the backlog it has to fold (and
+			// the next open's replay). Keep appending to the oversized
+			// active segment and let the merger's drain unpause rotation.
+			if s.rotationPaused.CompareAndSwap(false, true) {
+				s.log.Warn("segment rotation paused: merger behind",
+					obs.F("sealed_pending", len(s.sealed)),
+					obs.F("max_sealed_behind", s.maxSealedBehind))
+			}
+			select {
+			case s.mergeCh <- struct{}{}:
+			default: // a merge signal is already pending
+			}
+			return
+		}
 		s.rotateLocked()
 	}
 }
@@ -788,8 +827,21 @@ func (s *DiskStore[A]) mergeSealed() {
 	csp.End()
 	s.mu.Lock()
 	s.sealed = s.sealed[removed:]
+	behind := len(s.sealed)
 	s.mu.Unlock()
 	s.sealedBytes.Add(-freed)
+	if s.maxSealedBehind > 0 && behind < s.maxSealedBehind && s.rotationPaused.Swap(false) {
+		s.log.Info("segment rotation resumed", obs.F("sealed_pending", behind))
+		// The pause let the active segment grow past the threshold; rotate
+		// it here, on the merger's goroutine rather than a request's, so
+		// the log re-converges on the rotation budget even if traffic
+		// stops. The rotation re-signals the merger to fold it.
+		s.mu.Lock()
+		if !s.closed && s.writeErr == nil && s.rotateEvery > 0 && s.appended >= s.rotateEvery {
+			s.rotateLocked()
+		}
+		s.mu.Unlock()
+	}
 	s.compactions.Add(1)
 	s.lastSync.Store(time.Now().UnixNano())
 	root.SetInt("live", int64(len(live)))

@@ -53,6 +53,11 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		counter(MetricCacheSegmentRotationsTotal, "Active-segment rotations: each sealed the segment in O(1) and handed it to the background merger.", s.CacheSegmentRotations)
 		counter(MetricCacheCompactionsTotal, "Completed compaction passes (background merges plus the boot-time compaction).", s.CacheCompactions)
 		gauge(MetricCacheSealedBytes, "Bytes in sealed segments awaiting background merge.", s.CacheSealedBytes)
+		paused := int64(0)
+		if s.CacheRotationPaused {
+			paused = 1
+		}
+		gauge(MetricCacheRotationPaused, "1 while segment rotation is paused by sealed-backlog backpressure (merger too far behind).", paused)
 		gaugeF(MetricCacheSyncAgeSeconds, "Seconds since the persistent cache's last durability point.", s.CacheSyncAgeSeconds)
 	}
 	counter(MetricDedupedTotal, "Cache misses resolved by joining an in-flight leader.", s.Deduped)
@@ -93,7 +98,16 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			fmt.Fprintf(&b, "%s_bucket{stage=%q,le=%q} %d\n",
 				MetricStageLatencySeconds, stage, formatSeconds(bk.LEMillis/1e3), cum)
 		}
-		fmt.Fprintf(&b, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", MetricStageLatencySeconds, stage, h.Count)
+		// The most recent traced observation rides the +Inf bucket as an
+		// OpenMetrics-style exemplar ("# {trace_id=...} value"), linking
+		// the scraped family to a concrete trace in /debug/traces. Plain
+		// text-format parsers treat everything after '#' as a comment.
+		if h.ExemplarTraceID != "" {
+			fmt.Fprintf(&b, "%s_bucket{stage=%q,le=\"+Inf\"} %d # {trace_id=%q} %s\n",
+				MetricStageLatencySeconds, stage, h.Count, h.ExemplarTraceID, formatSeconds(h.ExemplarSeconds))
+		} else {
+			fmt.Fprintf(&b, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", MetricStageLatencySeconds, stage, h.Count)
+		}
 		fmt.Fprintf(&b, "%s_sum{stage=%q} %s\n",
 			MetricStageLatencySeconds, stage, formatSeconds(h.MeanMillis*float64(h.Count)/1e3))
 		fmt.Fprintf(&b, "%s_count{stage=%q} %d\n", MetricStageLatencySeconds, stage, h.Count)

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWeightedAdmissionEvictsByWeight: a heavy entry must pay for the
+// capacity it occupies — admitting one weight-3 answer into a full budget
+// displaces three weight-1 entries, and the eviction counter records all
+// of them.
+func TestWeightedAdmissionEvictsByWeight(t *testing.T) {
+	c := newAnswerCache[string](1, 4)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), Entry[string]{Val: "v", OK: true})
+	}
+	if n := c.Len(); n != 4 {
+		t.Fatalf("Len = %d, want 4", n)
+	}
+	c.Put("heavy", Entry[string]{Val: "V", OK: true, Weight: 3})
+	if n := c.Len(); n != 2 { // heavy + the surviving MRU light entry
+		t.Errorf("Len = %d after heavy admission, want 2", n)
+	}
+	if ev := c.Evictions(); ev != 3 {
+		t.Errorf("Evictions = %d, want 3 (one per displaced light entry)", ev)
+	}
+	if _, hit := c.Get("heavy"); !hit {
+		t.Error("heavy entry not resident after admission")
+	}
+	if _, hit := c.Get("k3"); !hit {
+		t.Error("MRU light entry should have survived the heavy admission")
+	}
+}
+
+// TestWeightedAdmissionRefusesOversized: an entry heavier than the whole
+// shard budget is refused (admitting it would flush every neighbor and
+// still not fit), and a stale resident copy under the same key is dropped
+// rather than served with outdated contents.
+func TestWeightedAdmissionRefusesOversized(t *testing.T) {
+	c := newAnswerCache[string](1, 4)
+	c.Put("k", Entry[string]{Val: "small", OK: true})
+	c.Put("k", Entry[string]{Val: "huge", OK: true, Weight: 5})
+	if _, hit := c.Get("k"); hit {
+		t.Error("oversized refresh left a resident copy (stale or giant)")
+	}
+	c.Put("other", Entry[string]{Val: "v", OK: true})
+	if _, hit := c.Get("other"); !hit {
+		t.Error("cache stopped admitting after an oversized refusal")
+	}
+}
+
+// TestWeightedAdmissionRefreshAdjustsBudget: refreshing a key with a
+// different weight must account the delta, not double-count — shrinking a
+// heavy entry frees room for more light ones.
+func TestWeightedAdmissionRefreshAdjustsBudget(t *testing.T) {
+	c := newAnswerCache[string](1, 4)
+	c.Put("a", Entry[string]{Val: "v", Weight: 3})
+	c.Put("a", Entry[string]{Val: "v", Weight: 1}) // shrink in place
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), Entry[string]{Val: "v"})
+	}
+	if n := c.Len(); n != 4 {
+		t.Errorf("Len = %d, want 4 (shrunken entry freed its budget)", n)
+	}
+	if ev := c.Evictions(); ev != 0 {
+		t.Errorf("Evictions = %d, want 0", ev)
+	}
+	// Delete must release the weight too.
+	c.Put("b", Entry[string]{Val: "v", Weight: 2})
+	c.Delete("b")
+	c.Put("c", Entry[string]{Val: "v", Weight: 2})
+	if _, hit := c.Get("c"); !hit {
+		t.Error("delete did not release the deleted entry's weight")
+	}
+}
+
+// TestHistogramExemplar: a traced observation becomes the family's
+// exemplar, an untraced one never clobbers it, and the Prometheus
+// exposition renders it on the +Inf bucket in OpenMetrics style (after a
+// '#', so plain text-format parsers read it as a comment).
+func TestHistogramExemplar(t *testing.T) {
+	var m metrics
+	m.observeStages(StageTimings{Parse: time.Millisecond, Match: time.Millisecond, Probe: time.Millisecond}, "trace-abc")
+	m.total.observeTraced(4*time.Millisecond, "trace-abc")
+	m.total.observeTraced(2*time.Millisecond, "") // untraced: must not clobber
+
+	snap := m.snapshot()
+	for _, stage := range []string{StageParse, StageMatch, StageProbe, StageTotal} {
+		h := snap.Stages[stage]
+		if h.ExemplarTraceID != "trace-abc" {
+			t.Errorf("stage %s exemplar = %q, want trace-abc", stage, h.ExemplarTraceID)
+		}
+	}
+	if s := snap.Stages[StageTotal].ExemplarSeconds; s != 0.004 {
+		t.Errorf("total exemplar seconds = %v, want 0.004", s)
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	want := `le="+Inf"} 2 # {trace_id="trace-abc"} 0.004`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing exemplar %q:\n%s", want, b.String())
+	}
+}
+
+// TestDiskStoreBackpressurePausesRotation: once the sealed backlog reaches
+// MaxSealedBehind, threshold-crossing appends must stop rotating (the
+// active segment grows instead) and the pause must surface through
+// PersistStats and the metrics snapshot. The backlog is wedged with sealed
+// entries whose files don't exist — the merger can replay past them but
+// never delete them, so the backlog provably stays at the bound for the
+// duration of the test.
+func TestDiskStoreBackpressurePausesRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore[string](dir, nil, DiskOptions{CompactEvery: 256, MaxSealedBehind: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.mu.Lock()
+	s.sealed = append(s.sealed,
+		sealedSeg{path: filepath.Join(dir, "wedge.0")},
+		sealedSeg{path: filepath.Join(dir, "wedge.1")})
+	s.mu.Unlock()
+
+	val := strings.Repeat("x", 64)
+	for i := 0; i < 50; i++ { // ~5KB of appends against a 256B threshold
+		s.Put(fmt.Sprintf("k%d", i), Entry[string]{Val: val, OK: true})
+	}
+	st := s.PersistStats()
+	if st.Rotations != 0 {
+		t.Errorf("Rotations = %d under a full sealed backlog, want 0", st.Rotations)
+	}
+	if !st.RotationPaused {
+		t.Error("RotationPaused = false, want true while the merger is behind")
+	}
+
+	r := New(echoAsk(nil), Options{})
+	defer r.Close()
+	r.cache = s
+	snap := r.Metrics()
+	if !snap.CachePersistent || !snap.CacheRotationPaused {
+		t.Errorf("snapshot CachePersistent=%v CacheRotationPaused=%v, want true/true",
+			snap.CachePersistent, snap.CacheRotationPaused)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), MetricCacheRotationPaused+" 1\n") {
+		t.Errorf("exposition missing %s 1", MetricCacheRotationPaused)
+	}
+}
+
+// TestRuntimeWeighsComputedAnswers: the runtime applies SetWeigher on the
+// miss path, so heavy answers land in the cache with their weight and
+// compete accordingly.
+func TestRuntimeWeighsComputedAnswers(t *testing.T) {
+	r := New(func(ctx context.Context, q string) (string, StageTimings, bool, error) {
+		return strings.Repeat(q, 3), StageTimings{}, true, nil
+	}, Options{CacheShards: 1, CacheEntries: 4})
+	defer r.Close()
+	r.SetWeigher(func(a string) int { return len(a) / 3 }) // == len(question)
+
+	if _, _, err := r.Ask(context.Background(), "ab"); err != nil { // weight 2
+		t.Fatal(err)
+	}
+	if _, _, err := r.Ask(context.Background(), "xy"); err != nil { // weight 2: budget full
+		t.Fatal(err)
+	}
+	if _, _, err := r.Ask(context.Background(), "pq"); err != nil { // displaces the LRU
+		t.Fatal(err)
+	}
+	m := r.Metrics()
+	if m.CacheEntries != 2 {
+		t.Errorf("CacheEntries = %d, want 2 (two weight-2 answers fill the 4-unit budget)", m.CacheEntries)
+	}
+	if m.CacheEvictions != 1 {
+		t.Errorf("CacheEvictions = %d, want 1", m.CacheEvictions)
+	}
+}

@@ -124,6 +124,7 @@ type Runtime[A any] struct {
 	sem       chan struct{} // nil when unbounded
 	metrics   metrics
 	normalize func(string) string
+	weigh     func(A) int // nil: every entry weighs 1 (SetWeigher)
 
 	// closeMu guards isClosed so wg.Add never races wg.Wait: a request
 	// registers with the drain group only while holding the read lock and
@@ -211,6 +212,15 @@ func cacheKey(gen uint64, normalized, fingerprint string) string {
 // Generation returns the model generation keying new cache entries.
 func (r *Runtime[A]) Generation() uint64 { return r.gen.Load() }
 
+// SetWeigher installs the cache-admission weighing function: an entry
+// costs fn(answer) capacity units (floored at 1), so one giant answer — a
+// top-K result with many interpretations — competes for the same budget as
+// the many small entries it would otherwise displace one-for-one. Nil (the
+// default) weighs every entry 1, the classic entry-count LRU. Install it
+// at construction time, before serving traffic: the weigher is read
+// without synchronization on the miss path.
+func (r *Runtime[A]) SetWeigher(fn func(A) int) { r.weigh = fn }
+
 // BumpGeneration advances the model generation, atomically making every
 // cache entry of earlier generations unreachable (no flush, no lock over
 // the shards). Call it after the new model is visible to the engine — then
@@ -271,9 +281,13 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 	}
 	defer r.wg.Done()
 	r.metrics.inFlight.Add(1)
+	// The trace ID (empty for untraced requests) rides along into the
+	// latency histograms as their exemplar, linking a scraped bucket to a
+	// concrete trace in the /debug/traces ring.
+	traceID := obs.TraceID(ctx)
 	start := time.Now()
 	defer func() {
-		r.metrics.total.observe(time.Since(start))
+		r.metrics.total.observeTraced(time.Since(start), traceID)
 		r.metrics.inFlight.Add(-1)
 		if err != nil {
 			r.metrics.countError(ErrorCode(err))
@@ -358,10 +372,14 @@ func (r *Runtime[A]) Do(ctx context.Context, question, fingerprint string, compu
 				var zero A
 				return zero, false, err
 			}
-			r.metrics.observeStages(tm)
+			r.metrics.observeStages(tm, traceID)
 			if r.cache != nil {
 				_, psp := obs.StartSpan(fctx, "serve.persist")
-				r.cache.Put(key, Entry[A]{Val: a, OK: okAns, Gen: gen, At: time.Now()})
+				ent := Entry[A]{Val: a, OK: okAns, Gen: gen, At: time.Now()}
+				if r.weigh != nil {
+					ent.Weight = r.weigh(a)
+				}
+				r.cache.Put(key, ent)
 				psp.End()
 			}
 			return a, okAns, nil
@@ -488,6 +506,7 @@ func (r *Runtime[A]) Metrics() Snapshot {
 			s.CacheSegmentRotations = st.Rotations
 			s.CacheCompactions = st.Compactions
 			s.CacheSealedBytes = st.SealedBytes
+			s.CacheRotationPaused = st.RotationPaused
 			s.CacheSyncAgeSeconds = st.SyncAge.Seconds()
 		}
 	}

@@ -23,6 +23,13 @@ type Entry[A any] struct {
 	At time.Time
 	// Persisted marks entries replayed from durable storage at open.
 	Persisted bool
+	// Weight is the entry's cost in cache-capacity units (Options.Weigh):
+	// a heavy answer (a large top-K result) competes for the same budget as
+	// the many light entries it displaces, instead of evicting them
+	// one-for-one. Values below 1 count as 1. Weight is a residency hint,
+	// not part of the answer — it is not persisted, so entries replayed
+	// from disk weigh 1 until recomputed.
+	Weight int
 }
 
 // Store is the answer-residency contract of the runtime: the in-memory

@@ -1,0 +1,267 @@
+package shardrpc
+
+import (
+	"context"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// KB adapts a Pool to the rdf.Graph interface, so core.Engine and
+// expand.ExpandParallel run unchanged against remote shard servers.
+//
+// The split follows the store's own layout: node/predicate interning is
+// global and deterministic in the world seed, so symtab lookups (Label,
+// PredID, EntitiesByLabel, ...) stay local — both sides loaded the same
+// world, enforced by the handshake fingerprint — while index reads
+// (Objects, Subjects, OutEdges, scans, traversals) scatter/gather over
+// the network. PathObjectsCtx is the engine's probe path: each hop of
+// V(e, p+) partitions the frontier by subject hash and fans one Frontier
+// RPC out per touched shard, gathering the k-way union exactly as the
+// in-process parallel expansion merges per-shard scans.
+//
+// The ctx-less Graph methods carry no deadline or trace and cannot return
+// errors; an RPC failure on those paths yields an empty result and is
+// recorded — Err surfaces the first one. Engine probes use PathObjectsCtx,
+// where failure aborts the answer instead.
+type KB struct {
+	local rdf.Graph
+	pool  *Pool
+
+	mu  sync.Mutex
+	err error
+}
+
+// KB implements the Graph surface plus the sharded extensions the
+// expansion and trace layers dispatch on.
+var _ rdf.Graph = (*KB)(nil)
+
+// NewKB wires the locally-loaded world (the symtab side) to the pool (the
+// index side).
+func NewKB(local rdf.Graph, pool *Pool) *KB {
+	return &KB{local: local, pool: pool}
+}
+
+// Err returns the first RPC failure observed on a ctx-less read path, or
+// nil. Sticky until the process decides what to do about it.
+func (kb *KB) Err() error {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	return kb.err
+}
+
+func (kb *KB) setErr(err error) {
+	if err == nil {
+		return
+	}
+	kb.mu.Lock()
+	if kb.err == nil {
+		kb.err = err
+	}
+	kb.mu.Unlock()
+}
+
+// Interning lookups: local by construction (see type comment).
+
+func (kb *KB) Label(id rdf.ID) string                { return kb.local.Label(id) }
+func (kb *KB) KindOf(id rdf.ID) rdf.Kind             { return kb.local.KindOf(id) }
+func (kb *KB) NumNodes() int                         { return kb.local.NumNodes() }
+func (kb *KB) NodesByLabel(label string) []rdf.ID    { return kb.local.NodesByLabel(label) }
+func (kb *KB) EntitiesByLabel(label string) []rdf.ID { return kb.local.EntitiesByLabel(label) }
+func (kb *KB) HasLabel(label string) bool            { return kb.local.HasLabel(label) }
+func (kb *KB) Entities() []rdf.ID                    { return kb.local.Entities() }
+func (kb *KB) PredName(p rdf.PID) string             { return kb.local.PredName(p) }
+func (kb *KB) PredID(name string) (rdf.PID, bool)    { return kb.local.PredID(name) }
+func (kb *KB) NumPredicates() int                    { return kb.local.NumPredicates() }
+func (kb *KB) Predicates() []rdf.PID                 { return kb.local.Predicates() }
+func (kb *KB) Key(p rdf.Path) string                 { return kb.local.Key(p) }
+func (kb *KB) ParsePath(key string) (rdf.Path, bool) { return kb.local.ParsePath(key) }
+
+// NumTriples is a world-identity constant (the handshake fingerprint pins
+// it equal on both sides), so it stays local.
+func (kb *KB) NumTriples() int { return kb.local.NumTriples() }
+
+// Index reads: remote.
+
+func (kb *KB) Objects(subj rdf.ID, pred rdf.PID) []rdf.ID {
+	out, err := kb.pool.Objects(nil, subj, pred)
+	kb.setErr(err)
+	return out
+}
+
+// Subjects gathers the per-shard subject lists and merges them into
+// ascending ID order, exactly as ShardedStore.Subjects does in process.
+func (kb *KB) Subjects(pred rdf.PID, obj rdf.ID) []rdf.ID {
+	var out []rdf.ID
+	for i := 0; i < kb.NumShards(); i++ {
+		ids, err := kb.pool.ShardSubjects(nil, i, pred, obj)
+		if err != nil {
+			kb.setErr(err)
+			return nil
+		}
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (kb *KB) PredicatesBetween(subj, obj rdf.ID) []rdf.PID {
+	out, err := kb.pool.PredicatesBetween(nil, subj, obj)
+	kb.setErr(err)
+	return out
+}
+
+func (kb *KB) OutEdges(subj rdf.ID, fn func(p rdf.PID, o rdf.ID)) {
+	kb.setErr(kb.pool.OutEdges(nil, subj, fn))
+}
+
+func (kb *KB) OutDegree(subj rdf.ID) int {
+	n := 0
+	kb.OutEdges(subj, func(rdf.PID, rdf.ID) { n++ })
+	return n
+}
+
+// Triples merges the per-shard scan streams back into the global
+// deterministic order (ascending subject): the shards partition the
+// subjects and each stream is ascending, so a k-pointer merge on the
+// current subject reproduces Store.Triples exactly.
+func (kb *KB) Triples(fn func(rdf.Triple)) {
+	n := kb.NumShards()
+	slices := make([][]rdf.Triple, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = kb.pool.ScanShard(nil, i, func(t rdf.Triple) {
+				slices[i] = append(slices[i], t)
+			})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			kb.setErr(err)
+			return
+		}
+	}
+	idx := make([]int, n)
+	for {
+		best := -1
+		for i := 0; i < n; i++ {
+			if idx[i] < len(slices[i]) && (best < 0 || slices[i][idx[i]].S < slices[best][idx[best]].S) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		fn(slices[best][idx[best]])
+		idx[best]++
+	}
+}
+
+// Sharded extensions: NumShards + ShardTriples make KB an
+// expand.ShardedGraph (remote parallel expansion), ShardOf feeds the
+// trace layer's per-shard probe attribution.
+
+func (kb *KB) NumShards() int { return kb.pool.NumShards() }
+
+func (kb *KB) ShardTriples(i int, fn func(rdf.Triple)) {
+	kb.setErr(kb.pool.ScanShard(nil, i, fn))
+}
+
+func (kb *KB) ShardOf(id rdf.ID) int { return rdf.ShardIndex(id, kb.NumShards()) }
+
+// Traversals.
+
+// PathObjectsCtx is the engine's probe path: V(subj, path) computed by
+// per-hop frontier scatter/gather under the caller's context, so
+// deadlines, cancellation and trace spans cross the RPC boundary. The
+// result is identical to ShardedStore.PathObjects: the per-shard unions
+// are disjoint on input (subjects hash to exactly one shard), merged,
+// deduplicated, and the final frontier sorted ascending.
+func (kb *KB) PathObjectsCtx(ctx context.Context, subj rdf.ID, path rdf.Path) ([]rdf.ID, error) {
+	n := kb.NumShards()
+	frontier := []rdf.ID{subj}
+	for _, p := range path {
+		byShard := make([][]rdf.ID, n)
+		touched := 0
+		for _, node := range frontier {
+			i := rdf.ShardIndex(node, n)
+			if byShard[i] == nil {
+				touched++
+			}
+			byShard[i] = append(byShard[i], node)
+		}
+		results := make([][]rdf.ID, n)
+		errs := make([]error, n)
+		if touched == 1 {
+			// Single-shard hop (the common probe case): skip the fan-out
+			// goroutines.
+			for i := 0; i < n; i++ {
+				if byShard[i] != nil {
+					results[i], errs[i] = kb.pool.Frontier(ctx, i, p, byShard[i])
+				}
+			}
+		} else {
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				if byShard[i] == nil {
+					continue
+				}
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = kb.pool.Frontier(ctx, i, p, byShard[i])
+				}(i)
+			}
+			wg.Wait()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		seen := make(map[rdf.ID]bool)
+		var next []rdf.ID
+		for i := 0; i < n; i++ {
+			for _, o := range results[i] {
+				if !seen[o] {
+					seen[o] = true
+					next = append(next, o)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil, nil
+		}
+		frontier = next
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	return frontier, nil
+}
+
+func (kb *KB) PathObjects(subj rdf.ID, path rdf.Path) []rdf.ID {
+	out, err := kb.PathObjectsCtx(nil, subj, path)
+	kb.setErr(err)
+	return out
+}
+
+func (kb *KB) PathsBetween(subj, obj rdf.ID, maxLen int, endFilter func(rdf.PID) bool) []rdf.Path {
+	return rdf.PathsBetweenOver(kb, subj, obj, maxLen, endFilter)
+}
+
+func (kb *KB) DirectOrExpandedBetween(subj, obj rdf.ID, maxLen int, endFilter func(rdf.PID) bool) bool {
+	return rdf.DirectOrExpandedBetweenOver(kb, subj, obj, maxLen, endFilter)
+}
+
+func (kb *KB) WriteNTriples(w io.Writer) error {
+	if err := rdf.WriteNTriplesOver(kb, w); err != nil {
+		return err
+	}
+	return kb.Err()
+}

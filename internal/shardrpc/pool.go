@@ -1,0 +1,683 @@
+package shardrpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// PoolOptions configures a client Pool.
+type PoolOptions struct {
+	// Placement routes shards to servers; required.
+	Placement *Placement
+	// Fingerprint is the local world's identity (Fingerprint over the
+	// local graph); every handshake asserts it. Required.
+	Fingerprint uint64
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout bounds a call whose context carries no deadline
+	// (default 30s); contexts with deadlines always win.
+	CallTimeout time.Duration
+	// HedgeAfter, when > 0, pins the hedge delay. When 0 the pool adapts:
+	// it hedges after the observed p95 call latency, clamped to
+	// [1ms, 250ms] (25ms until enough samples accumulate). Hedging sends
+	// the same request to the next replica and takes the first answer.
+	HedgeAfter time.Duration
+	// DisableHedge turns hedging off (failover on error still applies).
+	DisableHedge bool
+	// BackoffBase and BackoffMax bound the per-server down-marking
+	// backoff after failures (defaults 100ms and 5s). A down server is
+	// deprioritized, not excluded: it is retried when every replica of a
+	// shard is down, and recovers on first success.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Logger receives structured failover/hedge events; nil discards.
+	Logger *obs.Logger
+}
+
+// PoolStats counts the pool's lifetime routing decisions.
+type PoolStats struct {
+	Calls     uint64 `json:"calls"`
+	Hedges    uint64 `json:"hedges"`
+	Failovers uint64 `json:"failovers"`
+	Errors    uint64 `json:"errors"`
+}
+
+// Pool is the scatter/gather client: it owns one connection pool per
+// server, routes per-shard calls by the placement, hedges slow calls, and
+// fails over across replicas. Safe for concurrent use. A nil context on
+// any call is allowed and means "no deadline, no trace" — the pool's
+// methods back the ctx-less rdf.Graph surface as well as the ctx-aware
+// probe path.
+type Pool struct {
+	pl   *Placement
+	opts PoolOptions
+
+	mu    sync.Mutex
+	hosts map[string]*host
+
+	lat latencyWindow
+
+	calls     atomic.Uint64
+	hedges    atomic.Uint64
+	failovers atomic.Uint64
+	errcount  atomic.Uint64
+	closed    atomic.Bool
+}
+
+// host is the per-server connection pool plus failure state.
+type host struct {
+	addr string
+
+	mu        sync.Mutex
+	free      []net.Conn
+	fails     int
+	downUntil time.Time
+}
+
+// NewPool builds a pool over the placement. Connections are dialed lazily.
+func NewPool(o PoolOptions) (*Pool, error) {
+	if o.Placement == nil {
+		return nil, errors.New("shardrpc: pool needs a placement")
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	return &Pool{pl: o.Placement, opts: o, hosts: make(map[string]*host)}, nil
+}
+
+// NumShards returns the shard count of the pool's placement.
+func (p *Pool) NumShards() int { return p.pl.NumShards() }
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Calls:     p.calls.Load(),
+		Hedges:    p.hedges.Load(),
+		Failovers: p.failovers.Load(),
+		Errors:    p.errcount.Load(),
+	}
+}
+
+// Close tears down every pooled connection. In-flight calls fail; the pool
+// is unusable afterwards.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	p.mu.Lock()
+	hosts := make([]*host, 0, len(p.hosts))
+	for _, h := range p.hosts {
+		hosts = append(hosts, h)
+	}
+	p.mu.Unlock()
+	for _, h := range hosts {
+		h.mu.Lock()
+		free := h.free
+		h.free = nil
+		h.mu.Unlock()
+		for _, c := range free {
+			c.Close()
+		}
+	}
+}
+
+// Ping dials and handshakes every server in the placement, returning the
+// first failure — the fail-fast world-identity check for startup paths.
+func (p *Pool) Ping(ctx context.Context) error {
+	for _, addr := range p.pl.servers {
+		conn, err := p.dial(ctx, addr)
+		if err != nil {
+			return fmt.Errorf("shardrpc: ping %s: %w", addr, err)
+		}
+		p.host(addr).release(conn)
+	}
+	return nil
+}
+
+func (p *Pool) host(addr string) *host {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.hosts[addr]
+	if !ok {
+		h = &host{addr: addr}
+		p.hosts[addr] = h
+	}
+	return h
+}
+
+// take pops a pooled connection, or returns nil when the host has none.
+func (h *host) take() net.Conn {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n := len(h.free); n > 0 {
+		c := h.free[n-1]
+		h.free = h.free[:n-1]
+		return c
+	}
+	return nil
+}
+
+// release returns a healthy connection to the pool and clears the host's
+// failure state.
+func (h *host) release(c net.Conn) {
+	h.mu.Lock()
+	h.free = append(h.free, c)
+	h.fails = 0
+	h.downUntil = time.Time{}
+	h.mu.Unlock()
+}
+
+// markDown records a failure and backs the host off exponentially.
+func (h *host) markDown(base, max time.Duration) {
+	h.mu.Lock()
+	h.fails++
+	d := base << uint(h.fails-1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	h.downUntil = time.Now().Add(d)
+	h.mu.Unlock()
+}
+
+// down reports whether the host is inside its backoff window.
+func (h *host) down() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Now().Before(h.downUntil)
+}
+
+// dial opens and handshakes a fresh connection to addr.
+func (p *Pool) dial(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: p.opts.DialTimeout}
+	var conn net.Conn
+	var err error
+	if ctx != nil {
+		conn, err = d.DialContext(ctx, "tcp", addr)
+	} else {
+		conn, err = d.Dial("tcp", addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(p.opts.DialTimeout))
+	he := hello{version: ProtoVersion, fingerprint: p.opts.Fingerprint, numShards: uint32(p.pl.NumShards())}
+	if err := writeFrame(conn, he.encode()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	payload, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := &rbuf{b: payload}
+	status := r.u8()
+	if len(r.b) < r.off+len(protoMagic)+16 {
+		conn.Close()
+		return nil, fmt.Errorf("shardrpc: short handshake reply from %s", addr)
+	}
+	if _, err := decodeHello(r.b[r.off:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r.off += len(protoMagic) + 16
+	reject := r.str()
+	if r.err != nil {
+		conn.Close()
+		return nil, r.err
+	}
+	if status != statusOK {
+		conn.Close()
+		return nil, fmt.Errorf("shardrpc: server %s rejected handshake: %s", addr, reject)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// latencyWindow is a small ring of recent successful call durations used
+// to derive the adaptive hedge delay.
+type latencyWindow struct {
+	mu   sync.Mutex
+	ring [64]time.Duration
+	n    int // total recorded
+}
+
+func (l *latencyWindow) record(d time.Duration) {
+	l.mu.Lock()
+	l.ring[l.n%len(l.ring)] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// p95 returns the 95th-percentile recorded latency and whether enough
+// samples exist to trust it.
+func (l *latencyWindow) p95() (time.Duration, bool) {
+	l.mu.Lock()
+	n := l.n
+	if n > len(l.ring) {
+		n = len(l.ring)
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, l.ring[:n])
+	l.mu.Unlock()
+	if n < 8 {
+		return 0, false
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[(n*95+99)/100-1], true
+}
+
+// hedgeDelay resolves the current hedge delay.
+func (p *Pool) hedgeDelay() time.Duration {
+	if p.opts.HedgeAfter > 0 {
+		return p.opts.HedgeAfter
+	}
+	q, ok := p.lat.p95()
+	if !ok {
+		return 25 * time.Millisecond
+	}
+	if q < time.Millisecond {
+		return time.Millisecond
+	}
+	if q > 250*time.Millisecond {
+		return 250 * time.Millisecond
+	}
+	return q
+}
+
+// attemptOut is one replica attempt's outcome.
+type attemptOut struct {
+	addr    string
+	payload []byte
+	err     error
+}
+
+// inflight tracks the live connections of one call's attempts so the
+// winner (or a cancelled caller) can abort the losers by expiring their
+// I/O deadlines; aborted attempts discard their connections without
+// marking the host down.
+type inflight struct {
+	mu      sync.Mutex
+	conns   map[net.Conn]bool
+	aborted bool
+}
+
+func (f *inflight) add(c net.Conn) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.aborted {
+		return false
+	}
+	if f.conns == nil {
+		f.conns = make(map[net.Conn]bool)
+	}
+	f.conns[c] = true
+	return true
+}
+
+func (f *inflight) remove(c net.Conn) {
+	f.mu.Lock()
+	delete(f.conns, c)
+	f.mu.Unlock()
+}
+
+// abort expires every live attempt's deadline; their reads fail promptly
+// and the goroutines drain into the buffered result channel.
+func (f *inflight) abort() {
+	f.mu.Lock()
+	f.aborted = true
+	conns := make([]net.Conn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	past := time.Now().Add(-time.Second)
+	for _, c := range conns {
+		c.SetDeadline(past)
+	}
+}
+
+func (f *inflight) wasAborted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.aborted
+}
+
+// call performs one per-shard request with hedging and replica failover,
+// returning the response body positioned after the status/span envelope.
+func (p *Pool) call(ctx context.Context, shard int, op byte, body *wbuf) (*rbuf, error) {
+	if p.closed.Load() {
+		return nil, errors.New("shardrpc: pool is closed")
+	}
+	p.calls.Add(1)
+	var sp *obs.Span
+	var traceID string
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ctx, sp = obs.StartSpan(ctx, "rpc.call")
+		sp.SetInt("op", int64(op))
+		sp.SetInt("shard", int64(shard))
+		defer sp.End()
+		traceID = obs.TraceID(ctx)
+	}
+	var deadline int64
+	if ctx != nil {
+		if t, ok := ctx.Deadline(); ok {
+			deadline = t.UnixNano()
+		}
+	}
+	if deadline == 0 {
+		deadline = time.Now().Add(p.opts.CallTimeout).UnixNano()
+	}
+	req := reqHeader{op: op, shard: uint32(shard), deadline: deadline, traceID: traceID}.encode(body)
+
+	// Attempt order: the shard's replicas in preference order, up hosts
+	// before backed-off ones so failover lands on a healthy replica
+	// first; a fully-down replica set is still tried (the backoff
+	// deprioritizes, it never blackholes).
+	replicas := p.pl.Replicas(shard)
+	order := make([]string, 0, len(replicas))
+	var downed []string
+	for _, addr := range replicas {
+		if p.host(addr).down() {
+			downed = append(downed, addr)
+		} else {
+			order = append(order, addr)
+		}
+	}
+	order = append(order, downed...)
+
+	results := make(chan attemptOut, len(order)) // buffered: losers never block
+	fl := &inflight{}
+	next := 0
+	launch := func() {
+		addr := order[next]
+		next++
+		go p.attempt(ctx, fl, addr, shard, op, req, time.Unix(0, deadline), results)
+	}
+	launch()
+	outstanding := 1
+
+	var hedgeCh <-chan time.Time
+	var hedgeTimer *time.Timer
+	if !p.opts.DisableHedge && next < len(order) {
+		hedgeTimer = time.NewTimer(p.hedgeDelay())
+		hedgeCh = hedgeTimer.C
+		defer hedgeTimer.Stop()
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+
+	var firstErr error
+	for {
+		select {
+		case out := <-results:
+			outstanding--
+			if out.err == nil {
+				fl.abort() // expire the losers; they drain into the buffered channel
+				return p.finish(sp, out)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shardrpc: shard %d via %s: %w", shard, out.addr, out.err)
+			}
+			p.errcount.Add(1)
+			p.opts.Logger.Warn("shard call failed",
+				obs.F("shard", shard),
+				obs.F("server", out.addr),
+				obs.F("error", out.err.Error()))
+			if next < len(order) {
+				p.failovers.Add(1)
+				launch()
+				outstanding++
+			} else if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			if next < len(order) {
+				p.hedges.Add(1)
+				sp.SetAttr("hedged", "true")
+				launch()
+				outstanding++
+			}
+		case <-done:
+			fl.abort()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// finish parses a winning response: graft the server's span subtree, then
+// surface either the application error or the body.
+func (p *Pool) finish(sp *obs.Span, out attemptOut) (*rbuf, error) {
+	r := &rbuf{b: out.payload}
+	status := r.u8()
+	spanJSON := r.bytes()
+	if sp != nil && len(spanJSON) > 0 {
+		var snap obs.SpanSnapshot
+		if json.Unmarshal(spanJSON, &snap) == nil {
+			sp.AttachRemote(snap)
+		}
+	}
+	if status != statusOK {
+		msg := r.str()
+		if r.err != nil {
+			return nil, r.err
+		}
+		p.errcount.Add(1)
+		return nil, fmt.Errorf("shardrpc: server %s: %s", out.addr, msg)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r, nil
+}
+
+// attempt runs one request against one replica and reports into results
+// (buffered by the caller, so this goroutine never blocks on send). A
+// pooled connection that fails is retried once on a fresh dial — it may
+// simply have gone stale between calls.
+func (p *Pool) attempt(ctx context.Context, fl *inflight, addr string, shard int, op byte, req []byte, deadline time.Time, results chan<- attemptOut) {
+	var asp *obs.Span
+	if ctx != nil {
+		if parent := obs.ActiveSpan(ctx); parent != nil {
+			asp = parent.Child("rpc.attempt")
+			asp.SetAttr("server", addr)
+			defer asp.End()
+		}
+	}
+	start := time.Now()
+	payload, usedPooled, err := p.attemptOnce(ctx, fl, addr, req, deadline, true)
+	if err != nil && usedPooled && !fl.wasAborted() {
+		payload, _, err = p.attemptOnce(ctx, fl, addr, req, deadline, false)
+	}
+	if err == nil {
+		p.lat.record(time.Since(start))
+	} else {
+		asp.SetAttr("error", err.Error())
+	}
+	results <- attemptOut{addr: addr, payload: payload, err: err}
+}
+
+// attemptOnce performs one write/read round trip. usePool selects whether
+// a pooled connection may be reused; usedPooled reports whether one was
+// (its failure is retryable on a fresh dial — it may simply have gone
+// stale between calls).
+func (p *Pool) attemptOnce(ctx context.Context, fl *inflight, addr string, req []byte, deadline time.Time, usePool bool) (payload []byte, usedPooled bool, err error) {
+	h := p.host(addr)
+	var conn net.Conn
+	if usePool {
+		conn = h.take()
+	}
+	usedPooled = conn != nil
+	if conn == nil {
+		conn, err = p.dial(ctx, addr)
+		if err != nil {
+			h.markDown(p.opts.BackoffBase, p.opts.BackoffMax)
+			return nil, false, err
+		}
+	}
+	if !fl.add(conn) {
+		conn.Close()
+		return nil, usedPooled, errors.New("shardrpc: call already decided")
+	}
+	conn.SetDeadline(deadline)
+	err = writeFrame(conn, req)
+	if err == nil {
+		payload, err = readFrame(conn)
+	}
+	fl.remove(conn)
+	if err != nil {
+		conn.Close()
+		if !fl.wasAborted() && !usedPooled {
+			h.markDown(p.opts.BackoffBase, p.opts.BackoffMax)
+		}
+		return nil, usedPooled, err
+	}
+	conn.SetDeadline(time.Time{})
+	h.release(conn)
+	return payload, usedPooled, nil
+}
+
+// Frontier returns the sorted, deduplicated union of Objects(n, pred) for
+// the given nodes, all of which must hash to shard.
+func (p *Pool) Frontier(ctx context.Context, shard int, pred rdf.PID, nodes []rdf.ID) ([]rdf.ID, error) {
+	var body wbuf
+	body.u32(uint32(pred))
+	body.ids(nodes)
+	r, err := p.call(ctx, shard, opFrontier, &body)
+	if err != nil {
+		return nil, err
+	}
+	out := r.ids()
+	return out, r.err
+}
+
+// Objects returns V(subj, pred) from subj's shard, in store order.
+func (p *Pool) Objects(ctx context.Context, subj rdf.ID, pred rdf.PID) ([]rdf.ID, error) {
+	var body wbuf
+	body.u32(uint32(subj))
+	body.u32(uint32(pred))
+	r, err := p.call(ctx, rdf.ShardIndex(subj, p.NumShards()), opObjects, &body)
+	if err != nil {
+		return nil, err
+	}
+	out := r.ids()
+	return out, r.err
+}
+
+// ShardSubjects returns shard's subjects with (s, pred, obj) in
+// shard-local insertion order.
+func (p *Pool) ShardSubjects(ctx context.Context, shard int, pred rdf.PID, obj rdf.ID) ([]rdf.ID, error) {
+	var body wbuf
+	body.u32(uint32(pred))
+	body.u32(uint32(obj))
+	r, err := p.call(ctx, shard, opSubjects, &body)
+	if err != nil {
+		return nil, err
+	}
+	out := r.ids()
+	return out, r.err
+}
+
+// PredicatesBetween returns the direct predicates from subj to obj.
+func (p *Pool) PredicatesBetween(ctx context.Context, subj, obj rdf.ID) ([]rdf.PID, error) {
+	var body wbuf
+	body.u32(uint32(subj))
+	body.u32(uint32(obj))
+	r, err := p.call(ctx, rdf.ShardIndex(subj, p.NumShards()), opPredsBetween, &body)
+	if err != nil {
+		return nil, err
+	}
+	out := r.pidList()
+	return out, r.err
+}
+
+// OutEdges streams subj's out-neighbourhood in canonical order.
+func (p *Pool) OutEdges(ctx context.Context, subj rdf.ID, fn func(pr rdf.PID, o rdf.ID)) error {
+	var body wbuf
+	body.u32(uint32(subj))
+	r, err := p.call(ctx, rdf.ShardIndex(subj, p.NumShards()), opOutEdges, &body)
+	if err != nil {
+		return err
+	}
+	n := int(r.u32())
+	for i := 0; i < n; i++ {
+		pr, o := rdf.PID(r.u32()), rdf.ID(r.u32())
+		if r.err != nil {
+			return r.err
+		}
+		fn(pr, o)
+	}
+	return r.err
+}
+
+// scanPageLimit is the minimum triple count of one scan page.
+const scanPageLimit = 4096
+
+// ScanShard streams every triple of one shard in ascending-subject order
+// via cursor-paginated whole-subject pages.
+func (p *Pool) ScanShard(ctx context.Context, shard int, fn func(rdf.Triple)) error {
+	after := noSubject
+	for {
+		var body wbuf
+		body.u32(after)
+		body.u32(scanPageLimit)
+		r, err := p.call(ctx, shard, opScan, &body)
+		if err != nil {
+			return err
+		}
+		done := r.u8() == 1
+		after = r.u32()
+		n := int(r.u32())
+		for i := 0; i < n; i++ {
+			s, pr, o := rdf.ID(r.u32()), rdf.PID(r.u32()), rdf.ID(r.u32())
+			if r.err != nil {
+				return r.err
+			}
+			fn(rdf.Triple{S: s, P: pr, O: o})
+		}
+		if r.err != nil {
+			return r.err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// ServerStats fetches the stats of the server currently preferred for
+// shard.
+func (p *Pool) ServerStats(ctx context.Context, shard int) (ServerStats, error) {
+	var body wbuf
+	r, err := p.call(ctx, shard, opStats, &body)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	var st ServerStats
+	if err := json.Unmarshal(r.bytes(), &st); err != nil {
+		return ServerStats{}, err
+	}
+	return st, r.err
+}

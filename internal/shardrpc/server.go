@@ -1,0 +1,415 @@
+package shardrpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// ServerOptions configures a shard server.
+type ServerOptions struct {
+	// Owns lists the shard indexes this server answers for; nil or empty
+	// serves every shard (the server always loads the full world — the
+	// subset is a routing contract with the placement, not a storage
+	// split).
+	Owns []int
+	// Logger receives structured serve/close events; nil discards.
+	Logger *obs.Logger
+}
+
+// Server answers shardrpc requests over an rdf.ShardedStore. Start it with
+// Serve; stop it with Close (or by cancelling Serve's context). Safe for
+// concurrent connections: the store is read-only at serve time.
+type Server struct {
+	store *rdf.ShardedStore
+	fp    uint64
+	owns  map[int]bool // nil = all shards
+	log   *obs.Logger
+
+	// scanIdx lazily caches each shard's ascending subject list, the
+	// cursor index for paginated scans.
+	scanMu  sync.Mutex
+	scanIdx [][]rdf.ID
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]bool
+	closed bool
+
+	requests atomic.Uint64
+	failures atomic.Uint64
+}
+
+// NewServer builds a server over store. The store must be fully loaded;
+// writes after NewServer race with request handling.
+func NewServer(store *rdf.ShardedStore, o ServerOptions) *Server {
+	s := &Server{
+		store:   store,
+		fp:      Fingerprint(store, store.NumShards()),
+		log:     o.Logger,
+		scanIdx: make([][]rdf.ID, store.NumShards()),
+		conns:   make(map[net.Conn]bool),
+	}
+	if len(o.Owns) > 0 {
+		s.owns = make(map[int]bool, len(o.Owns))
+		for _, i := range o.Owns {
+			s.owns[i] = true
+		}
+	}
+	return s
+}
+
+// ServerStats is the opStats reply.
+type ServerStats struct {
+	NumShards int    `json:"num_shards"`
+	Owned     []int  `json:"owned"`
+	Triples   int    `json:"triples"`
+	Requests  uint64 `json:"requests"`
+	Failures  uint64 `json:"failures"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		NumShards: s.store.NumShards(),
+		Triples:   s.store.NumTriples(),
+		Requests:  s.requests.Load(),
+		Failures:  s.failures.Load(),
+	}
+	for i := 0; i < s.store.NumShards(); i++ {
+		if s.ownsShard(i) {
+			st.Owned = append(st.Owned, i)
+		}
+	}
+	return st
+}
+
+func (s *Server) ownsShard(i int) bool {
+	return s.owns == nil || s.owns[i]
+}
+
+// Serve accepts connections on lis until Close is called or ctx is
+// cancelled. It blocks; run it in a goroutine. The listener is owned by
+// the server once passed in (Close closes it).
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return errors.New("shardrpc: server closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() { s.Close() })
+	defer stop()
+	s.log.Info("shard server listening",
+		obs.F("addr", lis.Addr().String()),
+		obs.F("shards", s.store.NumShards()))
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Close stops the listener and all open connections. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// handleConn runs the handshake then the request loop for one connection.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	if err := s.handshake(conn); err != nil {
+		s.failures.Add(1)
+		s.log.Warn("handshake rejected",
+			obs.F("peer", conn.RemoteAddr().String()),
+			obs.F("error", err.Error()))
+		return
+	}
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // peer closed or conn broke; either way the conn is done
+		}
+		if err := s.handleRequest(conn, payload); err != nil {
+			return
+		}
+	}
+}
+
+// handshake validates the client hello and acknowledges (or rejects with a
+// message the client can surface).
+func (s *Server) handshake(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	defer conn.SetDeadline(time.Time{})
+	payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return err
+	}
+	var reject string
+	switch {
+	case h.version != ProtoVersion:
+		reject = fmt.Sprintf("protocol version %d, want %d", h.version, ProtoVersion)
+	case h.numShards != uint32(s.store.NumShards()):
+		reject = fmt.Sprintf("shard count %d, want %d", h.numShards, s.store.NumShards())
+	case h.fingerprint != s.fp:
+		reject = fmt.Sprintf("kb fingerprint %016x, want %016x (different worlds)", h.fingerprint, s.fp)
+	}
+	var w wbuf
+	if reject == "" {
+		w.u8(statusOK)
+	} else {
+		w.u8(statusErr)
+	}
+	w.b = append(w.b, hello{version: ProtoVersion, fingerprint: s.fp, numShards: uint32(s.store.NumShards())}.encode()...)
+	w.str(reject)
+	if err := writeFrame(conn, w.b); err != nil {
+		return err
+	}
+	if reject != "" {
+		return errors.New(reject)
+	}
+	return nil
+}
+
+// handleRequest decodes one request frame, executes it, and writes the
+// response. A returned error means the connection is unusable.
+func (s *Server) handleRequest(conn net.Conn, payload []byte) error {
+	s.requests.Add(1)
+	r := &rbuf{b: payload}
+	hdr := decodeReqHeader(r)
+	if r.err != nil {
+		s.failures.Add(1)
+		return r.err // framing is intact but header garbage: protocol bug, drop conn
+	}
+	var sp *obs.Span
+	if hdr.traceID != "" {
+		sp = obs.NewRemoteRoot(hdr.traceID, "shard.serve")
+		sp.SetInt("op", int64(hdr.op))
+		sp.SetInt("shard", int64(hdr.shard))
+	}
+	var body wbuf
+	errmsg := s.execute(hdr, r, &body)
+	if errmsg != "" {
+		s.failures.Add(1)
+	}
+	sp.End()
+	var spanJSON []byte
+	if sp != nil {
+		spanJSON, _ = json.Marshal(sp.Snapshot())
+	}
+	if hdr.deadline != 0 {
+		// Bound the response write by the caller's deadline so an
+		// abandoned request cannot wedge the handler goroutine.
+		conn.SetWriteDeadline(time.Unix(0, hdr.deadline))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	var w wbuf
+	if errmsg == "" {
+		w.u8(statusOK)
+	} else {
+		w.u8(statusErr)
+	}
+	w.bytes(spanJSON)
+	if errmsg != "" {
+		w.str(errmsg)
+	} else {
+		w.b = append(w.b, body.b...)
+	}
+	return writeFrame(conn, w.b)
+}
+
+// execute runs one op into body, returning a non-empty message on
+// application-level failure (the connection stays usable).
+func (s *Server) execute(hdr reqHeader, r *rbuf, body *wbuf) string {
+	if hdr.deadline != 0 && time.Now().UnixNano() > hdr.deadline {
+		return "deadline exceeded before execution"
+	}
+	shard := int(hdr.shard)
+	if shard < 0 || shard >= s.store.NumShards() {
+		return fmt.Sprintf("shard %d out of range [0,%d)", shard, s.store.NumShards())
+	}
+	if hdr.op != opStats && !s.ownsShard(shard) {
+		return fmt.Sprintf("shard %d not owned by this server", shard)
+	}
+	switch hdr.op {
+	case opFrontier:
+		pred := rdf.PID(r.u32())
+		nodes := r.ids()
+		if r.err != nil {
+			return r.err.Error()
+		}
+		seen := make(map[rdf.ID]bool)
+		var out []rdf.ID
+		for _, n := range nodes {
+			for _, o := range s.store.Objects(n, pred) {
+				if !seen[o] {
+					seen[o] = true
+					out = append(out, o)
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		body.ids(out)
+	case opObjects:
+		subj, pred := rdf.ID(r.u32()), rdf.PID(r.u32())
+		if r.err != nil {
+			return r.err.Error()
+		}
+		body.ids(s.store.Objects(subj, pred))
+	case opSubjects:
+		pred, obj := rdf.PID(r.u32()), rdf.ID(r.u32())
+		if r.err != nil {
+			return r.err.Error()
+		}
+		body.ids(s.store.ShardSubjects(shard, pred, obj))
+	case opPredsBetween:
+		subj, obj := rdf.ID(r.u32()), rdf.ID(r.u32())
+		if r.err != nil {
+			return r.err.Error()
+		}
+		body.pids(s.store.PredicatesBetween(subj, obj))
+	case opOutEdges:
+		subj := rdf.ID(r.u32())
+		if r.err != nil {
+			return r.err.Error()
+		}
+		var pairs []uint32
+		s.store.OutEdges(subj, func(p rdf.PID, o rdf.ID) {
+			pairs = append(pairs, uint32(p), uint32(o))
+		})
+		body.u32(uint32(len(pairs) / 2))
+		for _, v := range pairs {
+			body.u32(v)
+		}
+	case opScan:
+		after, limit := r.u32(), int(r.u32())
+		if r.err != nil {
+			return r.err.Error()
+		}
+		if limit <= 0 {
+			limit = 4096
+		}
+		s.scan(shard, after, limit, body)
+	case opStats:
+		j, err := json.Marshal(s.Stats())
+		if err != nil {
+			return err.Error()
+		}
+		body.bytes(j)
+	default:
+		return fmt.Sprintf("unknown op %d", hdr.op)
+	}
+	return ""
+}
+
+// scan emits one whole-subject page of shard i's triples: every triple of
+// each subject after the cursor, until at least limit triples are written
+// or the shard is exhausted. Pages never split a subject, so the cursor is
+// just the last subject emitted.
+func (s *Server) scan(shard int, after uint32, limit int, body *wbuf) {
+	subjects := s.shardSubjects(shard)
+	start := 0
+	if after != noSubject {
+		start = sort.Search(len(subjects), func(i int) bool { return subjects[i] > rdf.ID(after) })
+	}
+	var triples []rdf.Triple
+	next := after
+	done := true
+	for i := start; i < len(subjects); i++ {
+		s.store.SubjectTriples(subjects[i], func(t rdf.Triple) { triples = append(triples, t) })
+		next = uint32(subjects[i])
+		if len(triples) >= limit {
+			done = i == len(subjects)-1
+			break
+		}
+	}
+	if done {
+		body.u8(1)
+	} else {
+		body.u8(0)
+	}
+	body.u32(next)
+	body.u32(uint32(len(triples)))
+	for _, t := range triples {
+		body.u32(uint32(t.S))
+		body.u32(uint32(t.P))
+		body.u32(uint32(t.O))
+	}
+}
+
+// shardSubjects returns (building on first use) shard i's ascending
+// subject list.
+func (s *Server) shardSubjects(i int) []rdf.ID {
+	s.scanMu.Lock()
+	idx := s.scanIdx[i]
+	s.scanMu.Unlock()
+	if idx != nil {
+		return idx
+	}
+	built := s.store.ShardSubjectIDs(i)
+	if built == nil {
+		built = []rdf.ID{} // non-nil marks "built" for empty shards
+	}
+	s.scanMu.Lock()
+	if s.scanIdx[i] == nil {
+		s.scanIdx[i] = built
+	}
+	idx = s.scanIdx[i]
+	s.scanMu.Unlock()
+	return idx
+}

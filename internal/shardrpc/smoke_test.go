@@ -1,0 +1,72 @@
+package shardrpc
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"repro/internal/kbgen"
+	"repro/internal/rdf"
+)
+
+func TestSmokeRoundTrip(t *testing.T) {
+	kb := kbgen.Generate(kbgen.Config{Seed: 42, Flavor: kbgen.Freebase, Scale: 10, Shards: 4})
+	store := kb.Store.(*rdf.ShardedStore)
+	srv := NewServer(store, ServerOptions{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(context.Background(), lis)
+	defer srv.Close()
+	pl, err := NewPlacement([]string{lis.Addr().String()}, store.NumShards(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(PoolOptions{Placement: pl, Fingerprint: Fingerprint(store, store.NumShards())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	remote := NewKB(store, pool)
+	// Objects equivalence over a sample of subjects.
+	n := 0
+	for _, e := range store.Entities() {
+		for _, p := range store.Predicates() {
+			want := store.Objects(e, p)
+			got := remote.Objects(e, p)
+			if len(want) != len(got) {
+				t.Fatalf("Objects(%d,%d): got %v want %v", e, p, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("Objects(%d,%d): got %v want %v", e, p, got, want)
+				}
+			}
+			n++
+			if n > 2000 {
+				break
+			}
+		}
+		if n > 2000 {
+			break
+		}
+	}
+	// Full scan equivalence.
+	var a, b []rdf.Triple
+	store.Triples(func(tr rdf.Triple) { a = append(a, tr) })
+	remote.Triples(func(tr rdf.Triple) { b = append(b, tr) })
+	if len(a) != len(b) {
+		t.Fatalf("Triples: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Triples[%d]: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if err := remote.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	t.Logf("pool stats: %+v", st)
+}

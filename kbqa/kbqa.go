@@ -43,6 +43,8 @@ import (
 	"repro/internal/eval"
 	"repro/internal/kbgen"
 	"repro/internal/learn"
+	"repro/internal/rdf"
+	"repro/internal/shardrpc"
 	"repro/internal/text"
 )
 
@@ -69,6 +71,18 @@ type Options struct {
 	// the single-map store, and 0 keeps the default (sharded). Answers
 	// are identical across layouts.
 	Shards int
+	// ShardServers, when non-empty, distributes the knowledge base: index
+	// reads (probes, scans) are served by remote kbqa-shard processes at
+	// these addresses instead of the local store, scatter/gathered with
+	// consistent-hash placement, hedged requests, and replica failover.
+	// Every server must have loaded the same world (same flavor, seed,
+	// scale, and shard count — enforced by a fingerprint handshake).
+	// Requires a sharded layout (Shards != 1). Answers are byte-identical
+	// to the single-process layouts.
+	ShardServers []string
+	// ShardReplicas is the replication factor of the shard placement
+	// (default 2, clamped to len(ShardServers)).
+	ShardReplicas int
 }
 
 // Noise returns a NoiseRate option value; Noise(0) requests a noise-free
@@ -165,6 +179,13 @@ type VariantAnswer struct {
 type System struct {
 	mu    sync.RWMutex // guards the world's Model/Stats/Engine swaps and retrain
 	world *eval.World
+	// kb is the graph engines are built over: the local store, or the
+	// shardrpc adapter when Options.ShardServers distributed the KB. Set
+	// once in Build, immutable afterwards.
+	kb rdf.Graph
+	// pool is the shard-server client when distributed (nil otherwise);
+	// Close releases it.
+	pool *shardrpc.Pool
 	// retrain holds invalidation hooks run after every model swap, keyed
 	// for deregistration; a Server registers one to bump its cache
 	// generation, so answers computed by the old model become unreachable
@@ -177,13 +198,60 @@ type System struct {
 	retrainEpoch atomic.Uint64
 }
 
-// Build synthesizes a world and runs the complete offline procedure.
+// Build synthesizes a world and runs the complete offline procedure. With
+// Options.ShardServers set, the online engine is then rebuilt over the
+// remote shard pool: the locally built world keeps supplying the interning
+// tables and the trained model, while knowledge-base index reads go over
+// the network.
 func Build(o Options) (*System, error) {
 	cfg, err := o.worldConfig()
 	if err != nil {
 		return nil, err
 	}
-	return &System{world: eval.BuildWorld(cfg)}, nil
+	s := &System{world: eval.BuildWorld(cfg)}
+	s.kb = s.world.KB.Store
+	if len(o.ShardServers) > 0 {
+		if err := s.connectShards(o); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// connectShards rewires the system's online engine over a shardrpc pool.
+func (s *System) connectShards(o Options) error {
+	ss, ok := s.world.KB.Store.(*rdf.ShardedStore)
+	if !ok {
+		return fmt.Errorf("kbqa: ShardServers requires a sharded knowledge base (Shards != 1)")
+	}
+	replicas := o.ShardReplicas
+	if replicas <= 0 {
+		replicas = 2
+	}
+	pl, err := shardrpc.NewPlacement(o.ShardServers, ss.NumShards(), replicas)
+	if err != nil {
+		return err
+	}
+	pool, err := shardrpc.NewPool(shardrpc.PoolOptions{
+		Placement:   pl,
+		Fingerprint: shardrpc.Fingerprint(ss, ss.NumShards()),
+	})
+	if err != nil {
+		return err
+	}
+	s.pool = pool
+	s.kb = shardrpc.NewKB(ss, pool)
+	s.world.Engine = core.NewEngine(s.kb, s.world.KB.Taxonomy, s.world.Model, s.world.Stats)
+	return nil
+}
+
+// Close releases the system's external resources — today the shard-server
+// connection pool of a distributed KB. Safe (and a no-op) on a
+// single-process system; the system must not be queried afterwards.
+func (s *System) Close() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
 }
 
 // engine snapshots the current online engine; queries run against the
@@ -283,7 +351,7 @@ func (s *System) Learn(pairs []QA) {
 	stats := decompose.BuildStats(qs, func(toks []string, sp text.Span) bool {
 		return len(s.world.KB.Store.EntitiesByLabel(text.Join(text.CutSpan(toks, sp)))) > 0
 	})
-	engine := core.NewEngine(s.world.KB.Store, s.world.KB.Taxonomy, model, stats)
+	engine := core.NewEngine(s.kb, s.world.KB.Taxonomy, model, stats)
 
 	s.mu.Lock()
 	s.world.Model = model
@@ -322,7 +390,7 @@ func (s *System) LoadModel(r io.Reader) error {
 	}
 	s.mu.Lock()
 	s.world.Model = m
-	s.world.Engine = core.NewEngine(s.world.KB.Store, s.world.KB.Taxonomy, m, s.world.Stats)
+	s.world.Engine = core.NewEngine(s.kb, s.world.KB.Taxonomy, m, s.world.Stats)
 	s.mu.Unlock()
 	s.notifyRetrain()
 	return nil

@@ -190,6 +190,15 @@ func (s *System) Server(o ServerOptions) (*Server, error) {
 		store = ds
 	}
 	sv.rt = serve.NewWithStore(sv.compute(newQueryConfig(nil)), ro, store)
+	// Weight answers by their interpretation count, so a big top-K result
+	// pays for the cache room it occupies instead of evicting many
+	// single-answer entries one-for-one. Negative entries weigh the minimum.
+	sv.rt.SetWeigher(func(a served) int {
+		if a.Res == nil || len(a.Res.Interpretations) < 2 {
+			return 1
+		}
+		return len(a.Res.Interpretations)
+	})
 	if o.RateLimit > 0 {
 		sv.limiter = serve.NewLimiter(o.RateLimit, o.RateBurst)
 	}
