@@ -22,6 +22,7 @@ func main() {
 	pairs := flag.Int("pairs", 40, "training QA pairs per intent")
 	noise := flag.Float64("noise", 0.15, "corpus noise rate")
 	out := flag.String("o", "kbqa-model.gob", "output model path")
+	kbOut := flag.String("kb-image", "", "also write the knowledge base as a snapshot image to this path (for kbqa-shard/-server -kb-image boot)")
 	flag.Parse()
 
 	sys, err := kbqa.Build(kbqa.Options{
@@ -52,4 +53,12 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("model written to %s\n", *out)
+
+	if *kbOut != "" {
+		if err := sys.SaveKBImage(*kbOut); err != nil {
+			fmt.Fprintln(os.Stderr, "kbqa-learn:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kb image written to %s\n", *kbOut)
+	}
 }

@@ -516,6 +516,8 @@ func main() {
 	shards := flag.Int("shards", 0, "RDF store subject-hash shards (0 = default, 1 = unsharded)")
 	shardServers := flag.String("shard-servers", "", "comma-separated kbqa-shard addresses; when set, knowledge-base index reads are served remotely (every server must have loaded the same world)")
 	shardReplicas := flag.Int("shard-replicas", 2, "replication factor of the shard placement")
+	kbImage := flag.String("kb-image", "", "serve knowledge-base index reads from this memory-mapped snapshot image (must hold the world the other flags describe; exclusive with -shard-servers)")
+	kbSave := flag.String("kb-save", "", "after building, write the knowledge base as a snapshot image to this path")
 	traceSample := flag.Float64("trace-sample", 0, "probability [0,1] that a request trace is retained for /debug/traces")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "always capture and log traces of requests at or above this duration (0 = off)")
 	traceBuffer := flag.Int("trace-buffer", 0, "retained trace ring size (0 = default 128)")
@@ -536,7 +538,7 @@ func main() {
 		}
 	}
 	sys, err := kbqa.Build(kbqa.Options{Flavor: *flavor, Seed: *seed, Shards: *shards,
-		ShardServers: serverList, ShardReplicas: *shardReplicas})
+		ShardServers: serverList, ShardReplicas: *shardReplicas, KBImage: *kbImage})
 	if err != nil {
 		fatal("build world", kbqa.LogF("error", err))
 	}
@@ -544,6 +546,15 @@ func main() {
 	if len(serverList) > 0 {
 		logger.Info("distributed knowledge base", kbqa.LogF("servers", *shardServers),
 			kbqa.LogF("replicas", *shardReplicas))
+	}
+	if *kbImage != "" {
+		logger.Info("knowledge base memory-mapped", kbqa.LogF("image", *kbImage))
+	}
+	if *kbSave != "" {
+		if err := sys.SaveKBImage(*kbSave); err != nil {
+			fatal("save kb image", kbqa.LogF("path", *kbSave), kbqa.LogF("error", err))
+		}
+		logger.Info("kb image saved", kbqa.LogF("path", *kbSave))
 	}
 	st := sys.Stats()
 	logger.Info("world ready", kbqa.LogF("templates", st.Templates), kbqa.LogF("predicates", st.Intents))

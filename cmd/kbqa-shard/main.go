@@ -13,6 +13,14 @@
 //	kbqa-shard -addr :9101 -servers :9101,:9102 -replicas 2
 //	kbqa-shard -addr :9102 -servers :9101,:9102 -replicas 2
 //	kbqa-server -shard-servers :9101,:9102 -shard-replicas 2
+//
+// Generating the world from scratch dominates boot time. -kb-save writes
+// the loaded world as a snapshot image after generation; -kb-image boots
+// from such an image instead of generating, memory-mapping the file so the
+// world is served pages-on-demand (and shared between replicas on one
+// host). With -kb-image the generation flags (-flavor, -seed, -scale,
+// -shards) are ignored — the image is the world, and the fingerprint
+// handshake still guarantees it matches what the frontends built.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"repro/internal/kbgen"
 	"repro/internal/obs"
 	"repro/internal/rdf"
+	"repro/internal/rdf/snapshot"
 	"repro/internal/shardrpc"
 	"repro/kbqa"
 )
@@ -40,6 +49,8 @@ func main() {
 	servers := flag.String("servers", "", "comma-separated list of every shard server; with -replicas this derives the shards this server owns (empty = own all shards)")
 	self := flag.String("self", "", "this server's entry in -servers (default: -addr)")
 	replicas := flag.Int("replicas", 2, "replication factor of the placement (used with -servers)")
+	kbImage := flag.String("kb-image", "", "boot from this snapshot image instead of generating the world (generation flags are ignored)")
+	kbSave := flag.String("kb-save", "", "after generating, write the world as a snapshot image to this path")
 	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn, or error")
 	flag.Parse()
 
@@ -49,20 +60,41 @@ func main() {
 		os.Exit(1)
 	}
 
-	f, err := kbqa.ParseFlavor(*flavor)
-	if err != nil {
-		fatal("parse flavor", obs.F("error", err.Error()))
-	}
-	if *shards < 2 {
-		fatal("need -shards >= 2: a shard server serves a sharded world")
-	}
-
-	logger.Info("loading world", obs.F("flavor", *flavor), obs.F("seed", *seed),
-		obs.F("scale", *scale), obs.F("shards", *shards))
-	kb := kbgen.Generate(kbgen.Config{Seed: *seed, Flavor: f, Scale: *scale, Shards: *shards})
-	store, ok := kb.Store.(*rdf.ShardedStore)
-	if !ok {
-		fatal("world store is not sharded")
+	var store rdf.Sharded
+	if *kbImage != "" {
+		if *kbSave != "" {
+			fatal("-kb-save needs a generated world; it cannot be combined with -kb-image")
+		}
+		logger.Info("mapping world image", obs.F("path", *kbImage))
+		im, err := snapshot.OpenImage(*kbImage, snapshot.OpenOptions{})
+		if err != nil {
+			fatal("open kb image", obs.F("path", *kbImage), obs.F("error", err.Error()))
+		}
+		defer im.Close()
+		store = im
+	} else {
+		f, err := kbqa.ParseFlavor(*flavor)
+		if err != nil {
+			fatal("parse flavor", obs.F("error", err.Error()))
+		}
+		if *shards < 2 {
+			fatal("need -shards >= 2: a shard server serves a sharded world")
+		}
+		logger.Info("loading world", obs.F("flavor", *flavor), obs.F("seed", *seed),
+			obs.F("scale", *scale), obs.F("shards", *shards))
+		kb := kbgen.Generate(kbgen.Config{Seed: *seed, Flavor: f, Scale: *scale, Shards: *shards})
+		ss, ok := kb.Store.(rdf.Sharded)
+		if !ok {
+			fatal("world store is not sharded")
+		}
+		store = ss
+		if *kbSave != "" {
+			if err := snapshot.WriteImageFile(*kbSave, ss); err != nil {
+				fatal("save kb image", obs.F("path", *kbSave), obs.F("error", err.Error()))
+			}
+			logger.Info("world image saved", obs.F("path", *kbSave),
+				obs.F("fingerprint", shardrpc.Fingerprint(ss, ss.NumShards())))
+		}
 	}
 
 	var owns []int

@@ -2,6 +2,7 @@ package kbqavet
 
 import (
 	"go/ast"
+	"go/types"
 
 	"repro/internal/analysis"
 )
@@ -14,13 +15,19 @@ import (
 // the batch path. Package main is exempt (a process entry point is
 // where root contexts are born), as are _test.go files.
 //
+// It also flags a literal nil argument in a context.Context parameter
+// position: a nil context skirts the Background check while dropping
+// cancellation, deadlines and tracing just the same (and panics in any
+// callee that derives from it) — the loophole the remote-scan paths used
+// before they grew ctx-aware variants.
+//
 // When a context.Context parameter is in scope the message says so —
 // those are the unambiguous drops; the rest are ctx-less shims that
 // should either gain a context parameter or carry a justified
 // //kbqa:nolint ctxpropagate.
 var CtxPropagate = &analysis.Analyzer{
 	Name: "ctxpropagate",
-	Doc: "flag context.Background/TODO in library code, which drops caller cancellation and trace IDs\n\n" +
+	Doc: "flag context.Background/TODO and literal nil contexts in library code, which drop caller cancellation and trace IDs\n\n" +
 		"Library (non-main, non-test) code must thread the caller's context. " +
 		"Annotate deliberate fresh roots (background goroutines, compat shims) with //kbqa:nolint ctxpropagate.",
 	Run: runCtxPropagate,
@@ -63,12 +70,56 @@ func runCtxPropagate(pass *analysis.Pass) error {
 						pass.Reportf(n.Pos(), "context.%s() in library code; accept a context.Context and propagate it (or annotate a deliberate root with //kbqa:nolint ctxpropagate)", fn.Name())
 					}
 				}
+				checkNilCtxArgs(pass, n, funcStack)
 			}
 			return true
 		}
 		ast.Inspect(file, walk)
 	}
 	return nil
+}
+
+// checkNilCtxArgs reports every literal nil argument sitting in a
+// context.Context parameter position of the call.
+func checkNilCtxArgs(pass *analysis.Pass, call *ast.CallExpr, funcStack []ast.Node) {
+	if call.Ellipsis.IsValid() {
+		// f(args...) spreads a slice; no literal nil sits in a parameter
+		// position.
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		// Type conversion or builtin, not a function call.
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		if argTV, ok := pass.TypesInfo.Types[arg]; !ok || !argTV.IsNil() {
+			continue
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isContextType(pt) {
+			continue
+		}
+		if name, ok := ctxParamInScope(pass, funcStack); ok {
+			pass.Reportf(arg.Pos(), "literal nil in context.Context parameter position drops the caller's context %q in scope; pass it through instead", name)
+		} else {
+			pass.Reportf(arg.Pos(), "literal nil in context.Context parameter position; thread a real context (or pass an annotated context.Background at a deliberate root)")
+		}
+	}
 }
 
 // ctxParamInScope reports whether any enclosing function binds a

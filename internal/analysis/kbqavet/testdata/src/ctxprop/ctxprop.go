@@ -44,3 +44,43 @@ func BackgroundWorker() context.Context {
 	//kbqa:nolint ctxpropagate — detached worker root by design (fixture)
 	return context.Background()
 }
+
+func takesCtx(ctx context.Context, n int) int { return n }
+
+func takesCtxVariadic(n int, ctxs ...context.Context) int { return n }
+
+func takesPtr(p *int) {}
+
+// Literal nil in a context parameter position is the Background check's
+// loophole; with a ctx in scope it is an unambiguous drop.
+func NilArg(ctx context.Context) {
+	takesCtx(nil, 1) // want `literal nil in context.Context parameter position drops the caller's context "ctx" in scope`
+}
+
+// Without a context in scope it is still flagged, as a shim to fix.
+func NilArgNoScope() {
+	takesCtx(nil, 2) // want `literal nil in context.Context parameter position; thread a real context`
+}
+
+// Variadic context parameters are matched position-by-position.
+func NilVariadic(ctx context.Context) {
+	takesCtxVariadic(3, ctx, nil) // want `literal nil in context.Context parameter position drops the caller's context "ctx" in scope`
+}
+
+// Passing the caller's context, or nil to a non-context parameter, is fine.
+func NilArgClean(ctx context.Context) {
+	takesCtx(ctx, 4)
+	takesPtr(nil)
+	takesCtxVariadic(5) // no variadic args at all
+}
+
+// Spread calls have no literal nil in parameter position.
+func NilSpread(ctx context.Context, ctxs []context.Context) {
+	takesCtxVariadic(6, ctxs...)
+}
+
+// A justified nil (e.g. exercising a callee's nil-tolerance) is suppressed.
+func NilSuppressed() {
+	//kbqa:nolint ctxpropagate — exercising nil tolerance by design (fixture)
+	takesCtx(nil, 7)
+}

@@ -19,6 +19,19 @@ type ShardedGraph interface {
 	ShardTriples(i int, fn func(rdf.Triple))
 }
 
+// ShardedGraphCtx is implemented by sharded graphs whose shard scans accept
+// a context — network-backed stores whose scans should carry the caller's
+// deadline, cancellation and trace (shardrpc.KB). ExpandParallelCtx
+// dispatches to ShardTriplesCtx when available, so a remote full-KB
+// expansion is cancellable instead of running nil-context scans to
+// completion. A scan error ends that shard's round early with a partial
+// buffer; the implementation is expected to record it (shardrpc.KB.Err),
+// matching the ctx-less path's failure contract.
+type ShardedGraphCtx interface {
+	ShardedGraph
+	ShardTriplesCtx(ctx context.Context, i int, fn func(rdf.Triple)) error
+}
+
 // ExpandParallel runs the k-round scan+join BFS over a sharded graph with
 // one worker per shard. Each round, every worker scans its own shard's
 // triples (ShardTriples) and joins them against the shared frontier index —
@@ -51,6 +64,16 @@ func ExpandParallelCtx(ctx context.Context, ss ShardedGraph, cfg Config) *Result
 	st := newExpandState()
 	frontier := sourceFrontier(sources)
 	bufs := make([]roundBuf, ss.NumShards())
+	scanShard := func(i int, fn func(rdf.Triple)) {
+		ss.ShardTriples(i, fn)
+	}
+	if cg, ok := ss.(ShardedGraphCtx); ok {
+		scanShard = func(i int, fn func(rdf.Triple)) {
+			// The error is recorded by the implementation (see
+			// ShardedGraphCtx); the round proceeds with what was scanned.
+			_ = cg.ShardTriplesCtx(ctx, i, fn)
+		}
+	}
 	for round := 1; round <= cfg.MaxLen && len(frontier) > 0; round++ {
 		st.res.Scans++
 		_, rsp := obs.StartSpan(ctx, "expand.round")
@@ -66,7 +89,7 @@ func ExpandParallelCtx(ctx context.Context, ss ShardedGraph, cfg Config) *Result
 				ssp := rsp.Child("expand.scan")
 				ssp.SetInt("shard", int64(i))
 				bufs[i] = scanRound(func(fn func(rdf.Triple)) {
-					ss.ShardTriples(i, fn)
+					scanShard(i, fn)
 				}, ss, cfg, frontier, round)
 				ssp.SetInt("scanned", int64(bufs[i].scanned))
 				ssp.SetInt("emits", int64(len(bufs[i].emits)))

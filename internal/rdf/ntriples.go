@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/url"
+	"strconv"
 	"strings"
 )
 
@@ -98,64 +99,87 @@ func LoadNTriples(r io.Reader, shards int) (*ShardedStore, error) {
 // into st and hands each parsed triple to add.
 func readNTriples(r io.Reader, st *symtab, add func(ID, PID, ID)) error {
 	nodes := make(map[string]ID) // old "kind/id" -> new id
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	// Lines are read with ReadString rather than a bufio.Scanner: a Scanner
+	// caps the token size, so one sufficiently long label (the IRI escape can
+	// multiply a label's length several-fold) would fail the whole load with
+	// an opaque "token too long". ReadString grows to the longest single line
+	// and nothing else.
+	br := bufio.NewReaderSize(r, 1<<16)
 	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	for {
+		raw, readErr := br.ReadString('\n')
+		if readErr != nil && readErr != io.EOF {
+			return fmt.Errorf("rdf: line %d: read ntriples: %w", lineNo+1, readErr)
 		}
-		subj, rest, ok := cutToken(line)
-		if !ok {
-			return fmt.Errorf("rdf: line %d: missing subject", lineNo)
+		if raw != "" {
+			lineNo++
+			if err := st.parseNTLine(nodes, raw, add); err != nil {
+				return fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			}
 		}
-		pred, rest, ok := cutToken(rest)
-		if !ok {
-			return fmt.Errorf("rdf: line %d: missing predicate", lineNo)
+		if readErr == io.EOF {
+			return nil
 		}
-		obj := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "."))
+	}
+}
 
-		sID, err := st.resolveNode(nodes, subj)
-		if err != nil {
-			return fmt.Errorf("rdf: line %d: %w", lineNo, err)
-		}
-		pName, err := parseIRI(pred)
-		if err != nil {
-			return fmt.Errorf("rdf: line %d: %w", lineNo, err)
-		}
-		var oID ID
-		if strings.HasPrefix(obj, `"`) {
-			lit, err := unquote(obj)
-			if err != nil {
-				return fmt.Errorf("rdf: line %d: %w", lineNo, err)
-			}
-			oID = st.Literal(lit)
-		} else {
-			oID, err = st.resolveNode(nodes, obj)
-			if err != nil {
-				return fmt.Errorf("rdf: line %d: %w", lineNo, err)
-			}
-		}
-		add(sID, st.Pred(pName), oID)
+// parseNTLine parses one serialized line (blank and #-comment lines are
+// no-ops), interning nodes and predicates and emitting the triple via add.
+func (st *symtab) parseNTLine(nodes map[string]ID, raw string, add func(ID, PID, ID)) error {
+	line := strings.TrimSpace(raw)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("rdf: read ntriples: %w", err)
+	subj, rest, ok := cutToken(line)
+	if !ok {
+		return fmt.Errorf("missing subject")
 	}
+	pred, rest, ok := cutToken(rest)
+	if !ok {
+		return fmt.Errorf("missing predicate")
+	}
+	obj := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "."))
+
+	sID, err := st.resolveNode(nodes, subj)
+	if err != nil {
+		return err
+	}
+	pName, err := parseIRI(pred)
+	if err != nil {
+		return err
+	}
+	var oID ID
+	if strings.HasPrefix(obj, `"`) {
+		lit, err := unquote(obj)
+		if err != nil {
+			return err
+		}
+		oID = st.Literal(lit)
+	} else {
+		oID, err = st.resolveNode(nodes, obj)
+		if err != nil {
+			return err
+		}
+	}
+	add(sID, st.Pred(pName), oID)
 	return nil
 }
 
 // resolveNode maps a `<kind/id/label>` reference to a node in the new
-// store, creating it on first sight.
+// store, creating it on first sight. The body is split before any
+// unescaping — the label segment is percent-escaped exactly once on write,
+// so unescaping the whole body first (as parseIRI does for predicates)
+// would both misparse labels containing "/" and double-unescape "%".
 func (s *symtab) resolveNode(nodes map[string]ID, ref string) (ID, error) {
-	body, err := parseIRI(ref)
-	if err != nil {
-		return 0, err
+	if !strings.HasPrefix(ref, "<") || !strings.HasSuffix(ref, ">") {
+		return 0, fmt.Errorf("expected <...>, got %q", ref)
 	}
-	parts := strings.SplitN(body, "/", 3)
+	parts := strings.SplitN(ref[1:len(ref)-1], "/", 3)
 	if len(parts) != 3 {
 		return 0, fmt.Errorf("malformed node reference %q", ref)
+	}
+	if _, err := strconv.ParseUint(parts[1], 10, 32); err != nil {
+		return 0, fmt.Errorf("malformed node id in %q", ref)
 	}
 	key := parts[0] + "/" + parts[1]
 	if id, ok := nodes[key]; ok {
@@ -189,15 +213,19 @@ func parseIRI(tok string) (string, error) {
 	return body, nil
 }
 
+// unquote reverses objectRef's %q literal encoding. %q emits full Go
+// string-literal syntax — \n, \t, \r, \xNN and \uNNNN escapes, not just
+// \" and \\ — so the inverse must be strconv.Unquote; anything hand-rolled
+// corrupts literals containing control characters or non-UTF-8 bytes.
 func unquote(tok string) (string, error) {
-	if len(tok) < 2 || !strings.HasPrefix(tok, `"`) || !strings.HasSuffix(tok, `"`) {
+	if len(tok) < 2 || tok[0] != '"' {
 		return "", fmt.Errorf("malformed literal %q", tok)
 	}
-	// fmt's %q escaping is Go syntax; undo the common escapes.
-	inner := tok[1 : len(tok)-1]
-	inner = strings.ReplaceAll(inner, `\"`, `"`)
-	inner = strings.ReplaceAll(inner, `\\`, `\`)
-	return inner, nil
+	lit, err := strconv.Unquote(tok)
+	if err != nil {
+		return "", fmt.Errorf("malformed literal %q: %w", tok, err)
+	}
+	return lit, nil
 }
 
 // cutToken splits off the first whitespace-delimited token, honouring that

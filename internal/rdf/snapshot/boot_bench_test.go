@@ -1,0 +1,200 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/kbgen"
+	"repro/internal/rdf"
+)
+
+// writeBenchJSON merges payload under key into the JSON object at
+// $BENCH_JSON (creating the file if absent), so every benchmark in the CI
+// step contributes its section to one artifact instead of clobbering it.
+// No-op when BENCH_JSON is unset.
+func writeBenchJSON(b *testing.B, key string, payload map[string]any) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		return
+	}
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		// A corrupt or legacy flat file just starts the document over.
+		if json.Unmarshal(data, &doc) != nil {
+			doc = map[string]json.RawMessage{}
+		}
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc[key] = data
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchWorld is the boot-benchmark subject: a larger world than the unit
+// tests use, so per-boot cost is dominated by the load itself rather than
+// fixed overheads.
+func benchWorld(b *testing.B) *rdf.ShardedStore {
+	b.Helper()
+	kb := kbgen.Generate(kbgen.Config{Seed: 42, Flavor: kbgen.Freebase, Scale: 60, Shards: 4})
+	return kb.Store.(*rdf.ShardedStore)
+}
+
+// firstProbe touches the world the way a just-booted server does — a label
+// lookup, a predicate resolution, and one index read — so a lazily-loaded
+// implementation cannot claim a boot it hasn't finished.
+func firstProbe(b *testing.B, g rdf.Graph) {
+	b.Helper()
+	ents := g.Entities()
+	if len(ents) == 0 {
+		b.Fatal("booted world has no entities")
+	}
+	e := ents[0]
+	if !g.HasLabel(g.Label(e)) {
+		b.Fatal("booted world lost a label")
+	}
+	preds := g.Predicates()
+	if len(preds) == 0 {
+		b.Fatal("booted world has no predicates")
+	}
+	g.Objects(e, preds[0])
+}
+
+// bootNTriples is the legacy boot path: parse the N-Triples export and
+// re-intern every node.
+func bootNTriples(b *testing.B, path string, shards int) *rdf.ShardedStore {
+	b.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ss, err := rdf.LoadNTriples(bufio.NewReaderSize(f, 1<<20), shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ss
+}
+
+// BenchmarkBootNTriples measures cold boot from the textual N-Triples
+// export: open, parse, intern, first probe. This is the baseline the
+// snapshot image exists to beat.
+func BenchmarkBootNTriples(b *testing.B) {
+	ss := benchWorld(b)
+	path := filepath.Join(b.TempDir(), "world.nt")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := ss.WriteNTriples(bw); err != nil {
+		b.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	t0 := time.Now()
+	for i := 0; i < b.N; i++ {
+		loaded := bootNTriples(b, path, ss.NumShards())
+		firstProbe(b, loaded)
+	}
+	perBoot := time.Since(t0) / time.Duration(b.N)
+	b.ReportMetric(float64(perBoot.Nanoseconds()), "ns/boot")
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	writeBenchJSON(b, "boot_ntriples", map[string]any{
+		"benchmark":   "BenchmarkBootNTriples",
+		"ns_per_boot": perBoot.Nanoseconds(),
+		"triples":     ss.NumTriples(),
+		"nodes":       ss.NumNodes(),
+		"file_bytes":  fi.Size(),
+		"boot_note":   "open + parse + re-intern the textual export, then a first probe (label, predicate, index read)",
+		"boots_timed": b.N,
+	})
+}
+
+// BenchmarkBootImage measures cold boot from the snapshot image: open,
+// map, verify every section CRC and the world fingerprint, first probe,
+// close. The one-shot N-Triples baseline is timed in the same process so
+// the emitted speedup compares like with like; the image must boot at
+// least an order of magnitude faster.
+func BenchmarkBootImage(b *testing.B) {
+	ss := benchWorld(b)
+	path := filepath.Join(b.TempDir(), "world.img")
+	if err := WriteImageFile(path, ss); err != nil {
+		b.Fatal(err)
+	}
+	ntPath := filepath.Join(b.TempDir(), "world.nt")
+	f, err := os.Create(ntPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := ss.WriteNTriples(bw); err != nil {
+		b.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	// One-shot baseline, off the benchmark clock: the same boot via the
+	// textual export.
+	ntStart := time.Now()
+	ntLoaded := bootNTriples(b, ntPath, ss.NumShards())
+	firstProbe(b, ntLoaded)
+	ntBoot := time.Since(ntStart)
+
+	fp := rdf.WorldFingerprint(ss, ss.NumShards())
+	b.ResetTimer()
+	t0 := time.Now()
+	for i := 0; i < b.N; i++ {
+		im, err := OpenImage(path, OpenOptions{ExpectFingerprint: fp, ExpectShards: ss.NumShards()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		firstProbe(b, im)
+		im.Close()
+	}
+	perBoot := time.Since(t0) / time.Duration(b.N)
+	b.ReportMetric(float64(perBoot.Nanoseconds()), "ns/boot")
+	speedup := float64(ntBoot.Nanoseconds()) / float64(perBoot.Nanoseconds())
+	b.ReportMetric(speedup, "speedup_x")
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	writeBenchJSON(b, "boot_image", map[string]any{
+		"benchmark":            "BenchmarkBootImage",
+		"ns_per_boot":          perBoot.Nanoseconds(),
+		"ntriples_ns_one_shot": ntBoot.Nanoseconds(),
+		"speedup_x":            speedup,
+		"triples":              ss.NumTriples(),
+		"nodes":                ss.NumNodes(),
+		"image_bytes":          fi.Size(),
+		"boot_note":            "open + mmap + full CRC/fingerprint verification + first probe + close; ntriples_ns_one_shot is the same boot via the textual export, timed once in this process",
+		"boots_timed":          b.N,
+	})
+}

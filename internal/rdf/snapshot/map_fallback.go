@@ -1,0 +1,19 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the whole file into memory on platforms without mmap
+// support; the release function is a no-op. Same contract as the unix
+// variant, minus the shared page cache.
+func mapFile(f *os.File, size int) (data []byte, release func([]byte) error, err error) {
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func([]byte) error { return nil }, nil
+}

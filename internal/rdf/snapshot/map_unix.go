@@ -1,0 +1,21 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. The returned release function unmaps;
+// until then the bytes stay valid after the file is closed.
+func mapFile(f *os.File, size int) (data []byte, release func([]byte) error, err error) {
+	if size == 0 {
+		return nil, func([]byte) error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, syscall.Munmap, nil
+}

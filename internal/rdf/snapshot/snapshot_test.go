@@ -1,0 +1,306 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/kbgen"
+	"repro/internal/rdf"
+)
+
+// testWorld generates a small sharded world once per test binary.
+func testWorld(t testing.TB) *rdf.ShardedStore {
+	t.Helper()
+	kb := kbgen.Generate(kbgen.Config{Seed: 42, Flavor: kbgen.KBA, Scale: 12, Shards: 4})
+	ss, ok := kb.Store.(*rdf.ShardedStore)
+	if !ok {
+		t.Fatal("generator did not shard the store")
+	}
+	return ss
+}
+
+// writeTestImage writes the world's image into a temp dir and returns the
+// path.
+func writeTestImage(t testing.TB, ss *rdf.ShardedStore) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "world.img")
+	if err := WriteImageFile(path, ss); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func openTestImage(t testing.TB, path string) *Image {
+	t.Helper()
+	im, err := OpenImage(path, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { im.Close() })
+	return im
+}
+
+func TestImageMatchesStoreMethodByMethod(t *testing.T) {
+	ss := testWorld(t)
+	im := openTestImage(t, writeTestImage(t, ss))
+
+	if im.NumNodes() != ss.NumNodes() || im.NumPredicates() != ss.NumPredicates() ||
+		im.NumTriples() != ss.NumTriples() || im.NumShards() != ss.NumShards() {
+		t.Fatalf("counts differ: image (%d,%d,%d,%d) store (%d,%d,%d,%d)",
+			im.NumNodes(), im.NumPredicates(), im.NumTriples(), im.NumShards(),
+			ss.NumNodes(), ss.NumPredicates(), ss.NumTriples(), ss.NumShards())
+	}
+	if got, want := im.Fingerprint(), rdf.WorldFingerprint(ss, ss.NumShards()); got != want {
+		t.Fatalf("fingerprint %016x, want %016x", got, want)
+	}
+
+	for id := 0; id < ss.NumNodes(); id++ {
+		nid := rdf.ID(id)
+		if im.Label(nid) != ss.Label(nid) {
+			t.Fatalf("label of %d: %q != %q", id, im.Label(nid), ss.Label(nid))
+		}
+		if im.KindOf(nid) != ss.KindOf(nid) {
+			t.Fatalf("kind of %d differs", id)
+		}
+		if im.ShardOf(nid) != ss.ShardOf(nid) {
+			t.Fatalf("shard of %d differs", id)
+		}
+		if got, want := im.NodesByLabel(ss.Label(nid)), ss.NodesByLabel(ss.Label(nid)); !equalIDs(got, want) {
+			t.Fatalf("NodesByLabel(%q) = %v, want %v", ss.Label(nid), got, want)
+		}
+		if got, want := im.EntitiesByLabel(ss.Label(nid)), ss.EntitiesByLabel(ss.Label(nid)); !equalIDs(got, want) {
+			t.Fatalf("EntitiesByLabel(%q) differs", ss.Label(nid))
+		}
+		if im.HasLabel(ss.Label(nid)) != ss.HasLabel(ss.Label(nid)) {
+			t.Fatalf("HasLabel(%q) differs", ss.Label(nid))
+		}
+		if im.OutDegree(nid) != ss.OutDegree(nid) {
+			t.Fatalf("OutDegree(%d) differs", id)
+		}
+	}
+	if !equalIDs(im.Entities(), ss.Entities()) {
+		t.Fatal("Entities differ")
+	}
+
+	for p := 0; p < ss.NumPredicates(); p++ {
+		name := ss.PredName(rdf.PID(p))
+		if im.PredName(rdf.PID(p)) != name {
+			t.Fatalf("pred name %d differs", p)
+		}
+		got, ok := im.PredID(name)
+		if !ok || got != rdf.PID(p) {
+			t.Fatalf("PredID(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := im.PredID("no-such-predicate"); ok {
+		t.Fatal("PredID invented a predicate")
+	}
+
+	// Every per-subject read path, across every edge in the store.
+	ss.Triples(func(tr rdf.Triple) {
+		if got, want := im.Objects(tr.S, tr.P), ss.Objects(tr.S, tr.P); !equalIDs(got, want) {
+			t.Fatalf("Objects(%d,%d) = %v, want %v", tr.S, tr.P, got, want)
+		}
+		if got, want := im.PredicatesBetween(tr.S, tr.O), ss.PredicatesBetween(tr.S, tr.O); !equalPIDs(got, want) {
+			t.Fatalf("PredicatesBetween(%d,%d) = %v, want %v", tr.S, tr.O, got, want)
+		}
+		if got, want := im.Subjects(tr.P, tr.O), ss.Subjects(tr.P, tr.O); !equalIDs(got, want) {
+			t.Fatalf("Subjects(%d,%d) = %v, want %v", tr.P, tr.O, got, want)
+		}
+	})
+
+	// Absent lookups answer the same too.
+	if im.Objects(rdf.ID(0), rdf.PID(ss.NumPredicates()-1)) == nil != (ss.Objects(rdf.ID(0), rdf.PID(ss.NumPredicates()-1)) == nil) {
+		t.Fatal("absent Objects differ")
+	}
+
+	for i := 0; i < ss.NumShards(); i++ {
+		if im.ShardSize(i) != ss.ShardSize(i) {
+			t.Fatalf("shard %d size differs", i)
+		}
+		if !equalIDs(im.ShardSubjectIDs(i), ss.ShardSubjectIDs(i)) {
+			t.Fatalf("shard %d subjects differ", i)
+		}
+		if !equalTripleScan(t, func(fn func(rdf.Triple)) { im.ShardTriples(i, fn) },
+			func(fn func(rdf.Triple)) { ss.ShardTriples(i, fn) }) {
+			t.Fatalf("shard %d triples differ", i)
+		}
+	}
+	if !equalTripleScan(t, im.Triples, ss.Triples) {
+		t.Fatal("global Triples scan differs")
+	}
+	ss.Triples(func(tr rdf.Triple) {
+		if !equalTripleScan(t, func(fn func(rdf.Triple)) { im.SubjectTriples(tr.S, fn) },
+			func(fn func(rdf.Triple)) { ss.SubjectTriples(tr.S, fn) }) {
+			t.Fatalf("SubjectTriples(%d) differ", tr.S)
+		}
+	})
+}
+
+func TestImageSerializationByteIdentical(t *testing.T) {
+	ss := testWorld(t)
+	im := openTestImage(t, writeTestImage(t, ss))
+	var a, b bytes.Buffer
+	if err := ss.WriteNTriples(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.WriteNTriples(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("image N-Triples serialization differs from the store's")
+	}
+}
+
+// TestImageOfImage checks the writer runs off the public read API alone: an
+// image taken of an image is byte-identical to the original file.
+func TestImageOfImage(t *testing.T) {
+	ss := testWorld(t)
+	path := writeTestImage(t, ss)
+	im := openTestImage(t, path)
+	var second bytes.Buffer
+	if err := WriteImage(&second, im); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, second.Bytes()) {
+		t.Fatal("image of image is not byte-identical")
+	}
+}
+
+func TestOpenImageRejectsTruncation(t *testing.T) {
+	ss := testWorld(t)
+	path := writeTestImage(t, ss)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 4, len(imgMagic), fixedHeaderLen, fixedHeaderLen + 40,
+		len(orig) / 2, len(orig) - 1} {
+		trunc := filepath.Join(t.TempDir(), "trunc.img")
+		if err := os.WriteFile(trunc, orig[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if im, err := OpenImage(trunc, OpenOptions{}); err == nil {
+			im.Close()
+			t.Fatalf("accepted image truncated to %d of %d bytes", n, len(orig))
+		}
+	}
+}
+
+func TestOpenImageRejectsBitFlips(t *testing.T) {
+	ss := testWorld(t)
+	path := writeTestImage(t, ss)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	flip := filepath.Join(dir, "flip.img")
+	// Flip one bit at a sample of offsets covering the header and every
+	// section; each flipped file must be rejected.
+	step := len(orig)/257 + 1
+	for off := 0; off < len(orig); off += step {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0x10
+		if err := os.WriteFile(flip, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if im, err := OpenImage(flip, OpenOptions{}); err == nil {
+			im.Close()
+			t.Fatalf("accepted image with bit flipped at offset %d", off)
+		}
+	}
+}
+
+func TestOpenImageRejectsWrongWorld(t *testing.T) {
+	ss := testWorld(t)
+	path := writeTestImage(t, ss)
+
+	other := kbgen.Generate(kbgen.Config{Seed: 7, Flavor: kbgen.KBA, Scale: 5, Shards: 4})
+	otherSS := other.Store.(*rdf.ShardedStore)
+	wrongFP := rdf.WorldFingerprint(otherSS, otherSS.NumShards())
+	if _, err := OpenImage(path, OpenOptions{ExpectFingerprint: wrongFP}); err == nil {
+		t.Fatal("accepted image from a different world")
+	}
+	if _, err := OpenImage(path, OpenOptions{ExpectShards: ss.NumShards() + 1}); err == nil {
+		t.Fatal("accepted image with wrong shard count")
+	}
+	// The real fingerprint and shard count open fine.
+	im, err := OpenImage(path, OpenOptions{
+		ExpectFingerprint: rdf.WorldFingerprint(ss, ss.NumShards()),
+		ExpectShards:      ss.NumShards(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.Close()
+}
+
+func TestWriteImageFilePublishesAtomically(t *testing.T) {
+	ss := testWorld(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "world.img")
+	if err := WriteImageFile(path, ss); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite in place: the previous image must stay openable throughout,
+	// and no temp files may be left behind.
+	im, err := OpenImage(path, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer im.Close()
+	if err := WriteImageFile(path, ss); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "world.img" {
+		t.Fatalf("directory not clean after publish: %v", entries)
+	}
+	// The mapping taken before the overwrite still reads consistently.
+	if im.NumTriples() != ss.NumTriples() {
+		t.Fatal("pre-overwrite mapping corrupted")
+	}
+}
+
+func equalIDs(a, b []rdf.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalPIDs(a, b []rdf.PID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalTripleScan(t testing.TB, a, b func(func(rdf.Triple))) bool {
+	t.Helper()
+	var as, bs []rdf.Triple
+	a(func(tr rdf.Triple) { as = append(as, tr) })
+	b(func(tr rdf.Triple) { bs = append(bs, tr) })
+	return reflect.DeepEqual(as, bs)
+}

@@ -1,0 +1,40 @@
+package rdf
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Sharded is the read API of a subject-hash-sharded knowledge base:
+// everything in Graph plus the shard-addressed access paths. It is
+// implemented by ShardedStore and by the memory-mapped snapshot image
+// (internal/rdf/snapshot), so shard servers, the parallel expander, and
+// the engine can run over either a freshly built store or an image loaded
+// from disk without caring which.
+type Sharded interface {
+	Graph
+	NumShards() int
+	ShardOf(id ID) int
+	ShardSize(i int) int
+	ShardTriples(i int, fn func(Triple))
+	ShardSubjectIDs(i int) []ID
+	ShardSubjects(i int, pred PID, obj ID) []ID
+	SubjectTriples(subj ID, fn func(Triple))
+}
+
+var _ Sharded = (*ShardedStore)(nil)
+
+// WorldFingerprint summarizes the identity of a loaded world. Every
+// consumer that exchanges raw interned IDs across a boundary — the
+// shardrpc handshake, the snapshot image header — must agree on it; the
+// counts pin the world tightly enough in practice because generation is
+// deterministic in the seed.
+func WorldFingerprint(g Graph, numShards int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range []int{g.NumNodes(), g.NumPredicates(), g.NumTriples(), numShards} {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}

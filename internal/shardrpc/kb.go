@@ -22,10 +22,14 @@ import (
 // RPC out per touched shard, gathering the k-way union exactly as the
 // in-process parallel expansion merges per-shard scans.
 //
-// The ctx-less Graph methods carry no deadline or trace and cannot return
-// errors; an RPC failure on those paths yields an empty result and is
-// recorded — Err surfaces the first one. Engine probes use PathObjectsCtx,
-// where failure aborts the answer instead.
+// Every remote read has a ctx-aware variant (ObjectsCtx, TriplesCtx, ...)
+// that threads the caller's deadline, cancellation and trace through the
+// RPC layer and returns its error; context-carrying callers (the engine,
+// the parallel expander, anything scatter/gathering) should use those. The
+// ctx-less Graph methods are shims over the variants for interface
+// compatibility only: they run from a fresh root context (CallTimeout
+// still bounds each RPC), cannot return errors, and record any RPC failure
+// instead — Err surfaces the first one.
 type KB struct {
 	local rdf.Graph
 	pool  *Pool
@@ -83,38 +87,64 @@ func (kb *KB) ParsePath(key string) (rdf.Path, bool) { return kb.local.ParsePath
 // it equal on both sides), so it stays local.
 func (kb *KB) NumTriples() int { return kb.local.NumTriples() }
 
-// Index reads: remote.
+// Index reads: remote. The Ctx variant is the real implementation; the
+// ctx-less Graph method is a shim that runs it from a fresh root context
+// and records the error.
+
+// ObjectsCtx is the ctx-aware V(e,p) probe.
+func (kb *KB) ObjectsCtx(ctx context.Context, subj rdf.ID, pred rdf.PID) ([]rdf.ID, error) {
+	return kb.pool.Objects(ctx, subj, pred)
+}
 
 func (kb *KB) Objects(subj rdf.ID, pred rdf.PID) []rdf.ID {
-	out, err := kb.pool.Objects(nil, subj, pred)
+	//kbqa:nolint ctxpropagate — ctx-less rdf.Graph shim; callers with a context use ObjectsCtx
+	out, err := kb.ObjectsCtx(context.Background(), subj, pred)
 	kb.setErr(err)
 	return out
 }
 
-// Subjects gathers the per-shard subject lists and merges them into
+// SubjectsCtx gathers the per-shard subject lists and merges them into
 // ascending ID order, exactly as ShardedStore.Subjects does in process.
-func (kb *KB) Subjects(pred rdf.PID, obj rdf.ID) []rdf.ID {
+func (kb *KB) SubjectsCtx(ctx context.Context, pred rdf.PID, obj rdf.ID) ([]rdf.ID, error) {
 	var out []rdf.ID
 	for i := 0; i < kb.NumShards(); i++ {
-		ids, err := kb.pool.ShardSubjects(nil, i, pred, obj)
+		ids, err := kb.pool.ShardSubjects(ctx, i, pred, obj)
 		if err != nil {
-			kb.setErr(err)
-			return nil
+			return nil, err
 		}
 		out = append(out, ids...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
-func (kb *KB) PredicatesBetween(subj, obj rdf.ID) []rdf.PID {
-	out, err := kb.pool.PredicatesBetween(nil, subj, obj)
+func (kb *KB) Subjects(pred rdf.PID, obj rdf.ID) []rdf.ID {
+	//kbqa:nolint ctxpropagate — ctx-less rdf.Graph shim; callers with a context use SubjectsCtx
+	out, err := kb.SubjectsCtx(context.Background(), pred, obj)
 	kb.setErr(err)
 	return out
 }
 
+// PredicatesBetweenCtx is the ctx-aware direct-connection lookup.
+func (kb *KB) PredicatesBetweenCtx(ctx context.Context, subj, obj rdf.ID) ([]rdf.PID, error) {
+	return kb.pool.PredicatesBetween(ctx, subj, obj)
+}
+
+func (kb *KB) PredicatesBetween(subj, obj rdf.ID) []rdf.PID {
+	//kbqa:nolint ctxpropagate — ctx-less rdf.Graph shim; callers with a context use PredicatesBetweenCtx
+	out, err := kb.PredicatesBetweenCtx(context.Background(), subj, obj)
+	kb.setErr(err)
+	return out
+}
+
+// OutEdgesCtx streams the out-neighbourhood of one subject.
+func (kb *KB) OutEdgesCtx(ctx context.Context, subj rdf.ID, fn func(p rdf.PID, o rdf.ID)) error {
+	return kb.pool.OutEdges(ctx, subj, fn)
+}
+
 func (kb *KB) OutEdges(subj rdf.ID, fn func(p rdf.PID, o rdf.ID)) {
-	kb.setErr(kb.pool.OutEdges(nil, subj, fn))
+	//kbqa:nolint ctxpropagate — ctx-less rdf.Graph shim; callers with a context use OutEdgesCtx
+	kb.setErr(kb.OutEdgesCtx(context.Background(), subj, fn))
 }
 
 func (kb *KB) OutDegree(subj rdf.ID) int {
@@ -123,11 +153,18 @@ func (kb *KB) OutDegree(subj rdf.ID) int {
 	return n
 }
 
-// Triples merges the per-shard scan streams back into the global
+// TriplesCtx merges the per-shard scan streams back into the global
 // deterministic order (ascending subject): the shards partition the
 // subjects and each stream is ascending, so a k-pointer merge on the
 // current subject reproduces Store.Triples exactly.
-func (kb *KB) Triples(fn func(rdf.Triple)) {
+//
+// Memory cost: the merge is buffered, not streaming — all shards scan
+// concurrently and every triple is held until the merge emits it, so peak
+// memory is O(NumTriples) (~12 bytes per triple plus slice overhead) on
+// top of the local symtab. That is the price of reproducing the global
+// order with concurrent scans; callers that do not need the canonical
+// order should iterate ShardTriplesCtx per shard, which buffers nothing.
+func (kb *KB) TriplesCtx(ctx context.Context, fn func(rdf.Triple)) error {
 	n := kb.NumShards()
 	slices := make([][]rdf.Triple, n)
 	errs := make([]error, n)
@@ -136,7 +173,7 @@ func (kb *KB) Triples(fn func(rdf.Triple)) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = kb.pool.ScanShard(nil, i, func(t rdf.Triple) {
+			errs[i] = kb.pool.ScanShard(ctx, i, func(t rdf.Triple) {
 				slices[i] = append(slices[i], t)
 			})
 		}(i)
@@ -144,8 +181,7 @@ func (kb *KB) Triples(fn func(rdf.Triple)) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			kb.setErr(err)
-			return
+			return err
 		}
 	}
 	idx := make([]int, n)
@@ -157,11 +193,16 @@ func (kb *KB) Triples(fn func(rdf.Triple)) {
 			}
 		}
 		if best < 0 {
-			return
+			return nil
 		}
 		fn(slices[best][idx[best]])
 		idx[best]++
 	}
+}
+
+func (kb *KB) Triples(fn func(rdf.Triple)) {
+	//kbqa:nolint ctxpropagate — ctx-less rdf.Graph shim; callers with a context use TriplesCtx
+	kb.setErr(kb.TriplesCtx(context.Background(), fn))
 }
 
 // Sharded extensions: NumShards + ShardTriples make KB an
@@ -170,8 +211,16 @@ func (kb *KB) Triples(fn func(rdf.Triple)) {
 
 func (kb *KB) NumShards() int { return kb.pool.NumShards() }
 
+// ShardTriplesCtx streams one shard's triples in ascending-subject order
+// under the caller's context — the ctx-aware scan the parallel expander
+// dispatches to (expand.ShardedGraphCtx).
+func (kb *KB) ShardTriplesCtx(ctx context.Context, i int, fn func(rdf.Triple)) error {
+	return kb.pool.ScanShard(ctx, i, fn)
+}
+
 func (kb *KB) ShardTriples(i int, fn func(rdf.Triple)) {
-	kb.setErr(kb.pool.ScanShard(nil, i, fn))
+	//kbqa:nolint ctxpropagate — ctx-less rdf.Graph shim; callers with a context use ShardTriplesCtx
+	kb.setErr(kb.ShardTriplesCtx(context.Background(), i, fn))
 }
 
 func (kb *KB) ShardOf(id rdf.ID) int { return rdf.ShardIndex(id, kb.NumShards()) }
@@ -246,7 +295,8 @@ func (kb *KB) PathObjectsCtx(ctx context.Context, subj rdf.ID, path rdf.Path) ([
 }
 
 func (kb *KB) PathObjects(subj rdf.ID, path rdf.Path) []rdf.ID {
-	out, err := kb.PathObjectsCtx(nil, subj, path)
+	//kbqa:nolint ctxpropagate — ctx-less rdf.Graph shim; engine probes use PathObjectsCtx
+	out, err := kb.PathObjectsCtx(context.Background(), subj, path)
 	kb.setErr(err)
 	return out
 }

@@ -1,0 +1,139 @@
+package shardrpc
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/expand"
+	"repro/internal/rdf"
+)
+
+// KB's ctx-aware scan surface is what the parallel expander dispatches to.
+var _ expand.ShardedGraphCtx = (*KB)(nil)
+
+func newTestKB(t *testing.T) (*rdf.ShardedStore, *KB) {
+	t.Helper()
+	store := testWorld(t)
+	addr, srv := startServer(t, store)
+	t.Cleanup(func() { srv.Close() })
+	pl, err := NewPlacement([]string{addr}, store.NumShards(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(PoolOptions{Placement: pl, Fingerprint: Fingerprint(store, store.NumShards())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	return store, NewKB(store, pool)
+}
+
+// TestKBCtxVariantsMatchLocal drives every ctx-aware read against a live
+// server and checks each result against the in-process store.
+func TestKBCtxVariantsMatchLocal(t *testing.T) {
+	store, kb := newTestKB(t)
+	ctx := context.Background()
+
+	checked := 0
+	store.Triples(func(tr rdf.Triple) {
+		if checked >= 300 {
+			return
+		}
+		checked++
+		objs, err := kb.ObjectsCtx(ctx, tr.S, tr.P)
+		if err != nil || !reflect.DeepEqual(objs, store.Objects(tr.S, tr.P)) {
+			t.Fatalf("ObjectsCtx(%d,%d) = %v, %v", tr.S, tr.P, objs, err)
+		}
+		preds, err := kb.PredicatesBetweenCtx(ctx, tr.S, tr.O)
+		if err != nil || !reflect.DeepEqual(preds, store.PredicatesBetween(tr.S, tr.O)) {
+			t.Fatalf("PredicatesBetweenCtx(%d,%d) = %v, %v", tr.S, tr.O, preds, err)
+		}
+		subs, err := kb.SubjectsCtx(ctx, tr.P, tr.O)
+		if err != nil || !reflect.DeepEqual(subs, store.Subjects(tr.P, tr.O)) {
+			t.Fatalf("SubjectsCtx(%d,%d) = %v, %v", tr.P, tr.O, subs, err)
+		}
+		var got []rdf.Triple
+		if err := kb.OutEdgesCtx(ctx, tr.S, func(p rdf.PID, o rdf.ID) {
+			got = append(got, rdf.Triple{S: tr.S, P: p, O: o})
+		}); err != nil {
+			t.Fatalf("OutEdgesCtx(%d): %v", tr.S, err)
+		}
+		var want []rdf.Triple
+		store.OutEdges(tr.S, func(p rdf.PID, o rdf.ID) {
+			want = append(want, rdf.Triple{S: tr.S, P: p, O: o})
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("OutEdgesCtx(%d) differs", tr.S)
+		}
+	})
+
+	var remote, local []rdf.Triple
+	if err := kb.TriplesCtx(ctx, func(tr rdf.Triple) { remote = append(remote, tr) }); err != nil {
+		t.Fatal(err)
+	}
+	store.Triples(func(tr rdf.Triple) { local = append(local, tr) })
+	if !reflect.DeepEqual(remote, local) {
+		t.Fatalf("TriplesCtx scan differs: %d vs %d triples", len(remote), len(local))
+	}
+	for i := 0; i < store.NumShards(); i++ {
+		var rs, ls []rdf.Triple
+		if err := kb.ShardTriplesCtx(ctx, i, func(tr rdf.Triple) { rs = append(rs, tr) }); err != nil {
+			t.Fatal(err)
+		}
+		store.ShardTriples(i, func(tr rdf.Triple) { ls = append(ls, tr) })
+		if !reflect.DeepEqual(rs, ls) {
+			t.Fatalf("ShardTriplesCtx(%d) differs", i)
+		}
+	}
+	if err := kb.Err(); err != nil {
+		t.Fatalf("ctx paths must not record sticky errors, got %v", err)
+	}
+}
+
+// TestKBCtxVariantsHonorCancellation checks the scan paths fail fast under
+// a cancelled context and report the error to the caller rather than the
+// sticky Err.
+func TestKBCtxVariantsHonorCancellation(t *testing.T) {
+	_, kb := newTestKB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if err := kb.TriplesCtx(ctx, func(rdf.Triple) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TriplesCtx under cancelled ctx: %v", err)
+	}
+	if err := kb.ShardTriplesCtx(ctx, 0, func(rdf.Triple) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ShardTriplesCtx under cancelled ctx: %v", err)
+	}
+	if _, err := kb.ObjectsCtx(ctx, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ObjectsCtx under cancelled ctx: %v", err)
+	}
+	if _, err := kb.SubjectsCtx(ctx, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubjectsCtx under cancelled ctx: %v", err)
+	}
+	if _, err := kb.PredicatesBetweenCtx(ctx, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PredicatesBetweenCtx under cancelled ctx: %v", err)
+	}
+	if err := kb.OutEdgesCtx(ctx, 0, func(rdf.PID, rdf.ID) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OutEdgesCtx under cancelled ctx: %v", err)
+	}
+	if err := kb.Err(); err != nil {
+		t.Fatalf("ctx-path failures must not stick, got %v", err)
+	}
+}
+
+// TestExpandParallelCtxOverRemoteKB checks the expander's ctx-aware scan
+// dispatch produces the same expansion remotely as in process.
+func TestExpandParallelCtxOverRemoteKB(t *testing.T) {
+	store, kb := newTestKB(t)
+	cfg := expand.Config{MaxLen: 2}
+	local := expand.ExpandParallel(store, cfg)
+	remote := expand.ExpandParallelCtx(context.Background(), kb, cfg)
+	if err := kb.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(local.Triples, remote.Triples) {
+		t.Fatalf("remote expansion differs: %d vs %d triples", len(remote.Triples), len(local.Triples))
+	}
+}

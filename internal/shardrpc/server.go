@@ -30,7 +30,7 @@ type ServerOptions struct {
 // Serve; stop it with Close (or by cancelling Serve's context). Safe for
 // concurrent connections: the store is read-only at serve time.
 type Server struct {
-	store *rdf.ShardedStore
+	store rdf.Sharded
 	fp    uint64
 	owns  map[int]bool // nil = all shards
 	log   *obs.Logger
@@ -51,7 +51,7 @@ type Server struct {
 
 // NewServer builds a server over store. The store must be fully loaded;
 // writes after NewServer race with request handling.
-func NewServer(store *rdf.ShardedStore, o ServerOptions) *Server {
+func NewServer(store rdf.Sharded, o ServerOptions) *Server {
 	s := &Server{
 		store:   store,
 		fp:      Fingerprint(store, store.NumShards()),

@@ -27,7 +27,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"hash/fnv"
 	"io"
 
 	"repro/internal/rdf"
@@ -67,17 +66,11 @@ const (
 const noSubject = ^uint32(0)
 
 // Fingerprint summarizes the identity of a loaded world. Both sides of a
-// connection must agree, since the protocol exchanges raw interned IDs;
-// the counts pin the world tightly enough in practice because generation
-// is deterministic in the seed.
+// connection must agree, since the protocol exchanges raw interned IDs.
+// It is the same fingerprint the snapshot image header carries, so an
+// image-booted shard server interoperates with a built-world frontend.
 func Fingerprint(g rdf.Graph, numShards int) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	for _, v := range []int{g.NumNodes(), g.NumPredicates(), g.NumTriples(), numShards} {
-		binary.LittleEndian.PutUint64(b[:], uint64(v))
-		h.Write(b[:])
-	}
-	return h.Sum64()
+	return rdf.WorldFingerprint(g, numShards)
 }
 
 // writeFrame writes one CRC frame.

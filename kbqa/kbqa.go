@@ -44,6 +44,7 @@ import (
 	"repro/internal/kbgen"
 	"repro/internal/learn"
 	"repro/internal/rdf"
+	"repro/internal/rdf/snapshot"
 	"repro/internal/shardrpc"
 	"repro/internal/text"
 )
@@ -83,6 +84,15 @@ type Options struct {
 	// ShardReplicas is the replication factor of the shard placement
 	// (default 2, clamped to len(ShardServers)).
 	ShardReplicas int
+	// KBImage, when non-empty, memory-maps a knowledge-base snapshot
+	// image (written by SaveKBImage or kbqa-shard -kb-save) and serves
+	// all index reads from it instead of the generated store. The image
+	// must hold exactly the world the other options describe — its
+	// fingerprint is checked against the built store and a mismatch
+	// fails Build. Requires a sharded layout (Shards != 1) and is
+	// mutually exclusive with ShardServers. Answers are byte-identical
+	// to the in-memory layouts; Close unmaps the image.
+	KBImage string
 }
 
 // Noise returns a NoiseRate option value; Noise(0) requests a noise-free
@@ -186,6 +196,9 @@ type System struct {
 	// pool is the shard-server client when distributed (nil otherwise);
 	// Close releases it.
 	pool *shardrpc.Pool
+	// img is the memory-mapped snapshot image when Options.KBImage
+	// loaded one (nil otherwise); Close unmaps it.
+	img *snapshot.Image
 	// retrain holds invalidation hooks run after every model swap, keyed
 	// for deregistration; a Server registers one to bump its cache
 	// generation, so answers computed by the old model become unreachable
@@ -208,6 +221,9 @@ func Build(o Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.KBImage != "" && len(o.ShardServers) > 0 {
+		return nil, fmt.Errorf("kbqa: KBImage and ShardServers are mutually exclusive")
+	}
 	s := &System{world: eval.BuildWorld(cfg)}
 	s.kb = s.world.KB.Store
 	if len(o.ShardServers) > 0 {
@@ -215,12 +231,51 @@ func Build(o Options) (*System, error) {
 			return nil, err
 		}
 	}
+	if o.KBImage != "" {
+		if err := s.openImage(o.KBImage); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// openImage rebinds the system's online engine to a memory-mapped
+// snapshot image of the world it just built. The image is opened with the
+// built store's fingerprint and shard count as expectations, so a stale or
+// foreign image fails here instead of answering from the wrong world.
+func (s *System) openImage(path string) error {
+	ss, ok := s.world.KB.Store.(rdf.Sharded)
+	if !ok {
+		return fmt.Errorf("kbqa: KBImage requires a sharded knowledge base (Shards != 1)")
+	}
+	im, err := snapshot.OpenImage(path, snapshot.OpenOptions{
+		ExpectFingerprint: rdf.WorldFingerprint(ss, ss.NumShards()),
+		ExpectShards:      ss.NumShards(),
+	})
+	if err != nil {
+		return fmt.Errorf("kbqa: open KB image: %w", err)
+	}
+	s.img = im
+	s.kb = im
+	s.world.Engine = core.NewEngine(s.kb, s.world.KB.Taxonomy, s.world.Model, s.world.Stats)
+	return nil
+}
+
+// SaveKBImage writes the knowledge base as a snapshot image: a binary,
+// offset-based file that OpenImage (and Options.KBImage, kbqa-shard
+// -kb-image) maps read-only for instant boot. The write is atomic — the
+// image appears under path complete or not at all.
+func (s *System) SaveKBImage(path string) error {
+	ss, ok := s.world.KB.Store.(rdf.Sharded)
+	if !ok {
+		return fmt.Errorf("kbqa: SaveKBImage requires a sharded knowledge base (Shards != 1)")
+	}
+	return snapshot.WriteImageFile(path, ss)
 }
 
 // connectShards rewires the system's online engine over a shardrpc pool.
 func (s *System) connectShards(o Options) error {
-	ss, ok := s.world.KB.Store.(*rdf.ShardedStore)
+	ss, ok := s.world.KB.Store.(rdf.Sharded)
 	if !ok {
 		return fmt.Errorf("kbqa: ShardServers requires a sharded knowledge base (Shards != 1)")
 	}
@@ -245,12 +300,16 @@ func (s *System) connectShards(o Options) error {
 	return nil
 }
 
-// Close releases the system's external resources — today the shard-server
-// connection pool of a distributed KB. Safe (and a no-op) on a
-// single-process system; the system must not be queried afterwards.
+// Close releases the system's external resources — the shard-server
+// connection pool of a distributed KB, and the memory mapping of a
+// snapshot image. Safe (and a no-op) on a single-process in-memory
+// system; the system must not be queried afterwards.
 func (s *System) Close() {
 	if s.pool != nil {
 		s.pool.Close()
+	}
+	if s.img != nil {
+		s.img.Close()
 	}
 }
 
