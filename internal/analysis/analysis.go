@@ -61,6 +61,20 @@ type Pass struct {
 	// nolint maps file name -> line -> set of analyzer names (or "all")
 	// suppressed on that line.
 	nolint map[string]map[int]map[string]bool
+	// used records which directives suppressed something (a diagnostic
+	// or a fact query), keyed by file:line:name — shared across the
+	// run's passes so the stale-suppression meta-check can report the
+	// rest.
+	used map[directiveKey]bool
+}
+
+// directiveKey identifies one analyzer name of one //kbqa:nolint
+// directive (a directive naming several analyzers is several keys, each
+// audited separately).
+type directiveKey struct {
+	file string
+	line int
+	name string
 }
 
 // Reportf reports a finding at pos.
@@ -77,19 +91,31 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 // Suppressed reports whether a //kbqa:nolint directive for the named
 // analyzer covers pos — on the same line, or alone on the line above.
 // Analyzers use it when a finding also feeds derived state (facts), so
-// suppressing the diagnostic suppresses the fact too.
+// suppressing the diagnostic suppresses the fact too. A matching
+// directive is recorded as used: suppressing a fact keeps a directive
+// live even when no diagnostic would have been emitted at the site.
 func (p *Pass) Suppressed(name string, pos token.Pos) bool {
 	position := p.Fset.Position(pos)
 	lines, ok := p.nolint[position.Filename]
 	if !ok {
 		return false
 	}
+	hit := false
 	for _, line := range []int{position.Line, position.Line - 1} {
-		if set, ok := lines[line]; ok && (set[name] || set["all"]) {
-			return true
+		set, ok := lines[line]
+		if !ok {
+			continue
+		}
+		for _, n := range []string{name, "all"} {
+			if set[n] {
+				if p.used != nil {
+					p.used[directiveKey{position.Filename, line, n}] = true
+				}
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
 }
 
 // nolintRE matches the suppression directive. The directive must carry at
@@ -98,13 +124,22 @@ func (p *Pass) Suppressed(name string, pos token.Pos) bool {
 // blanket form. Anything after the names is free-form justification.
 var nolintRE = regexp.MustCompile(`^//\s*kbqa:nolint\s+([a-zA-Z0-9_,\s]+?)(?:\s+[-—–].*)?$`)
 
+// directive is one //kbqa:nolint occurrence, retained (with its
+// position) so the stale-suppression meta-check can point at it.
+type directive struct {
+	key directiveKey
+	pos token.Pos
+}
+
 // buildNolintIndex scans every comment of the files for //kbqa:nolint
 // directives. A directive suppresses the line it sits on; a directive
 // that is the only thing on its line also suppresses the line below
 // (the conventional "annotation above the statement" placement — covered
-// because Suppressed checks line-1).
-func buildNolintIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+// because Suppressed checks line-1). The flat directive list drives the
+// stale-suppression audit.
+func buildNolintIndex(fset *token.FileSet, files []*ast.File) (map[string]map[int]map[string]bool, []directive) {
 	idx := make(map[string]map[int]map[string]bool)
+	var dirs []directive
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -124,22 +159,36 @@ func buildNolintIndex(fset *token.FileSet, files []*ast.File) map[string]map[int
 					lines[pos.Line] = set
 				}
 				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
-					if name != "" {
+					if name != "" && !set[name] {
 						set[name] = true
+						dirs = append(dirs, directive{key: directiveKey{pos.Filename, pos.Line, name}, pos: c.Pos()})
 					}
 				}
 			}
 		}
 	}
-	return idx
+	return idx, dirs
 }
 
+// NolintCheck names the framework's own meta-check: a //kbqa:nolint
+// directive that suppresses nothing for an analyzer in the run is
+// reported under this name, so suppressions cannot go stale silently.
+// The meta-check is not itself suppressible.
+const NolintCheck = "nolint"
+
 // Run executes the analyzers over one type-checked package and returns
-// the surviving (non-suppressed) diagnostics in file/position order.
+// the surviving (non-suppressed) diagnostics in file/position order,
+// plus one "stale suppression" diagnostic for every directive that
+// named a run analyzer but suppressed nothing (directives naming
+// analyzers outside this run are left alone — a partial run proves
+// nothing about them — as are directives in _test.go files).
 func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	nolint := buildNolintIndex(fset, files)
+	nolint, directives := buildNolintIndex(fset, files)
+	used := make(map[directiveKey]bool)
 	var out []Diagnostic
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -147,6 +196,7 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 			Pkg:       pkg,
 			TypesInfo: info,
 			nolint:    nolint,
+			used:      used,
 		}
 		pass.report = func(d Diagnostic) {
 			if pass.Suppressed(d.Analyzer, d.Pos) {
@@ -157,6 +207,16 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
+	}
+	for _, d := range directives {
+		if !ran[d.key.name] || used[d.key] || strings.HasSuffix(d.key.file, "_test.go") {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Message:  fmt.Sprintf("//kbqa:nolint %s suppresses no %s diagnostic; remove or fix the stale directive", d.key.name, d.key.name),
+			Analyzer: NolintCheck,
+		})
 	}
 	sortDiagnostics(fset, out)
 	return out, nil

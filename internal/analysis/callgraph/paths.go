@@ -1,0 +1,322 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Tracker is the branch-sensitive path walker behind the lifecycle
+// analyzers (spanend, mustclose): given a variable bound to an acquired
+// resource, it decides whether the release obligation is provably
+// discharged. An obligation resolves by
+//
+//   - a deferred release (runs on every exit),
+//   - an escape — returned, passed as an argument, captured by a
+//     closure, stored through an assignment, sent on a channel, or
+//     placed in a composite literal — which transfers the obligation to
+//     the new holder, or
+//   - an explicit release on every path of the statements that follow
+//     the acquisition.
+//
+// The path pass is conservative: constructs it does not model simply do
+// not count as releasing, so unusual control flow is flagged rather
+// than missed. The guard `if v != nil { ... v.Close() }` counts — the
+// analyzers that use the tracker hand out nil-safe handles (obs spans)
+// or nil-on-error results whose nil branch holds nothing.
+type Tracker struct {
+	Info *types.Info
+	// Releases names the methods that discharge the obligation when
+	// called on the tracked variable (e.g. {"End", "Finish"} for spans,
+	// {"Close"} for files).
+	Releases map[string]bool
+}
+
+// Resolved reports whether the variable obj, bound by assign inside
+// body, is guaranteed released by one of the means above.
+func (t *Tracker) Resolved(body *ast.BlockStmt, assign *ast.AssignStmt, obj types.Object) bool {
+	// Whole-function scan for the unconditional resolutions: a deferred
+	// release or an escape anywhere settles the obligation regardless of
+	// control flow.
+	resolved := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if resolved {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure that references the resource owns (part of) its
+			// lifecycle; treat as escape.
+			if t.usesObj(n, obj) {
+				resolved = true
+			}
+			return false
+		case *ast.DeferStmt:
+			if t.isReleaseCall(n.Call, obj) {
+				resolved = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if t.usesObj(r, obj) {
+					resolved = true
+				}
+			}
+		case *ast.CallExpr:
+			// Passed as an argument (not the receiver of a method call).
+			for _, arg := range n.Args {
+				if t.usesObj(arg, obj) {
+					resolved = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == assign {
+				return true
+			}
+			// Aliased or stored somewhere: the alias carries the
+			// obligation; tracking it further is out of scope. A blank
+			// `_ = v` is a no-op, not a handoff.
+			for i, r := range n.Rhs {
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				if t.usesObj(r, obj) {
+					resolved = true
+				}
+			}
+			// Used on the left as a key or target (`m[conn] = true`,
+			// registering the resource in a tracking structure) is a
+			// handoff too.
+			for _, l := range n.Lhs {
+				if _, ok := l.(*ast.Ident); !ok && t.usesObj(l, obj) {
+					resolved = true
+				}
+			}
+		case *ast.SendStmt:
+			if t.usesObj(n.Value, obj) {
+				resolved = true
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if t.usesObj(e, obj) {
+					resolved = true
+				}
+			}
+		}
+		return !resolved
+	})
+	if resolved {
+		return true
+	}
+
+	// Path-sensitive pass: do the statements after the assignment
+	// release the resource on every path?
+	stmts := stmtsAfter(body, assign)
+	if stmts == nil {
+		// Assignment buried in a construct we don't model (loop header,
+		// switch init, ...): fall back to "released anywhere".
+		return t.releasesAnywhere(body, obj)
+	}
+	return t.listReleases(stmts, obj)
+}
+
+// stmtsAfter returns the statements of the innermost statement list
+// containing assign, starting just after it, or nil if assign is not a
+// direct statement of any list in body.
+func stmtsAfter(body *ast.BlockStmt, assign *ast.AssignStmt) []ast.Stmt {
+	var out []ast.Stmt
+	var find func(list []ast.Stmt) bool
+	find = func(list []ast.Stmt) bool {
+		for i, s := range list {
+			if s == assign {
+				out = list[i+1:]
+				return true
+			}
+		}
+		for _, s := range list {
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				if find(s.List) {
+					return true
+				}
+			case *ast.IfStmt:
+				if find(s.Body.List) {
+					return true
+				}
+				if b, ok := s.Else.(*ast.BlockStmt); ok && find(b.List) {
+					return true
+				}
+			case *ast.ForStmt:
+				if find(s.Body.List) {
+					return true
+				}
+			case *ast.RangeStmt:
+				if find(s.Body.List) {
+					return true
+				}
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok && find(cc.Body) {
+						return true
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && find(cc.Body) {
+						return true
+					}
+				}
+			case *ast.LabeledStmt:
+				if find([]ast.Stmt{s.Stmt}) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if find(body.List) {
+		return out
+	}
+	return nil
+}
+
+// listReleases reports whether every path through stmts releases the
+// resource.
+func (t *Tracker) listReleases(stmts []ast.Stmt, obj types.Object) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			// if v != nil { ... v.Close() } — the nil branch holds
+			// nothing, so a releasing then-branch settles it.
+			if s.Else == nil && t.isNonNilGuard(s.Cond, obj) && t.listReleases(s.Body.List, obj) {
+				return true
+			}
+			if s.Else != nil {
+				thenEnds := t.listReleases(s.Body.List, obj)
+				var elseEnds bool
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					elseEnds = t.listReleases(e.List, obj)
+				case *ast.IfStmt:
+					elseEnds = t.listReleases([]ast.Stmt{e}, obj)
+				}
+				if thenEnds && elseEnds {
+					return true
+				}
+			}
+		case *ast.BlockStmt:
+			if t.listReleases(s.List, obj) {
+				return true
+			}
+		case *ast.DeferStmt:
+			if t.isReleaseCall(s.Call, obj) {
+				return true
+			}
+		case *ast.SwitchStmt:
+			if t.switchReleases(s.Body.List, obj, true) {
+				return true
+			}
+		case *ast.TypeSwitchStmt:
+			if t.switchReleases(s.Body.List, obj, true) {
+				return true
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			// A loop body may run zero times; a release inside it proves
+			// nothing about the fall-through path.
+		default:
+			if t.stmtReleases(s, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// switchReleases reports whether every case body releases; a switch
+// without a default has a fall-through path, which only counts when
+// requireDefault is false.
+func (t *Tracker) switchReleases(clauses []ast.Stmt, obj types.Object, requireDefault bool) bool {
+	hasDefault := false
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			return false
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if !t.listReleases(cc.Body, obj) {
+			return false
+		}
+	}
+	return hasDefault || !requireDefault
+}
+
+// stmtReleases reports whether s (a simple statement) directly contains
+// a release call on obj, outside nested function literals.
+func (t *Tracker) stmtReleases(s ast.Stmt, obj types.Object) bool {
+	releases := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && t.isReleaseCall(call, obj) {
+			releases = true
+		}
+		return !releases
+	})
+	return releases
+}
+
+func (t *Tracker) releasesAnywhere(body *ast.BlockStmt, obj types.Object) bool {
+	releases := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && t.isReleaseCall(call, obj) {
+			releases = true
+		}
+		return !releases
+	})
+	return releases
+}
+
+// isReleaseCall reports whether call is obj.<release>() for one of the
+// tracker's release method names.
+func (t *Tracker) isReleaseCall(call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !t.Releases[sel.Sel.Name] {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && t.Info.Uses[id] == obj
+}
+
+// usesObj reports whether node references obj anywhere except as the
+// receiver of a release call (which is handled separately).
+func (t *Tracker) usesObj(node ast.Node, obj types.Object) bool {
+	uses := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && t.Info.Uses[id] == obj {
+			uses = true
+		}
+		return !uses
+	})
+	return uses
+}
+
+// isNonNilGuard reports whether cond is `obj != nil`.
+func (t *Tracker) isNonNilGuard(cond ast.Expr, obj types.Object) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "!=" {
+		return false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && t.Info.Uses[id] == obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isObj(x) && isNil(y)) || (isObj(y) && isNil(x))
+}

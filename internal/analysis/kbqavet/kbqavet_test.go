@@ -35,11 +35,38 @@ func TestMetricName(t *testing.T) {
 	analysis.RunFixture(t, ".", MetricName, "metricname")
 }
 
+func TestGoroutineLife(t *testing.T) {
+	analysis.RunFixture(t, ".", GoroutineLife, "goroutinelife")
+}
+
+func TestGoroutineLifeMainExempt(t *testing.T) {
+	analysis.RunFixture(t, ".", GoroutineLife, "golifemain")
+}
+
+func TestMustClose(t *testing.T) {
+	analysis.RunFixture(t, ".", MustClose, "mustclose")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysis.RunFixture(t, ".", LockOrder, "lockorder")
+}
+
+func TestErrSink(t *testing.T) {
+	analysis.RunFixture(t, ".", ErrSink, "errsink")
+}
+
+// TestNolintUnused exercises the framework's stale-suppression
+// meta-check through a normal fixture run: the runner reports
+// directives that suppress nothing for an analyzer in the run.
+func TestNolintUnused(t *testing.T) {
+	analysis.RunFixture(t, ".", CtxPropagate, "nolintunused")
+}
+
 // TestRegistry pins the multichecker to exactly the documented analyzer
 // set: adding or renaming an analyzer must update this list, the README
 // "Static analysis" section, and the CI step together.
 func TestRegistry(t *testing.T) {
-	want := []string{"ctxpropagate", "locksync", "spanend", "structuredlog", "metricname"}
+	want := []string{"ctxpropagate", "locksync", "spanend", "structuredlog", "metricname", "goroutinelife", "mustclose", "lockorder", "errsink"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		names := make([]string, len(got))

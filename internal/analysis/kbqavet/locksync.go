@@ -5,6 +5,7 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // LockSync flags blocking I/O — (*os.File).Sync, os.Rename, anything in
@@ -32,79 +33,49 @@ type blockedFunc struct {
 }
 
 func runLockSync(pass *analysis.Pass) error {
-	// Pass 1: facts. For every function in the package, record whether it
-	// directly performs a banned call (suppressed call sites don't count —
-	// a vetted exception must not poison callers), and which same-package
-	// functions it calls.
+	// Pass 1: facts over the shared call graph. For every function in
+	// the package, record whether it directly performs a banned call
+	// (suppressed call sites don't count — a vetted exception must not
+	// poison callers); same-package call edges come from the graph.
+	g := callgraph.New(pass)
 	direct := make(map[*types.Func]string)
-	calls := make(map[*types.Func][]*types.Func)
-	var decls []*ast.FuncDecl
-	for _, file := range pass.Files {
-		if pass.InTestFile(file.Pos()) {
-			continue
-		}
-		for _, d := range file.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			decls = append(decls, fd)
-			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if obj == nil {
-				continue
-			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				fn := calleeFunc(pass.TypesInfo, call)
-				if fn == nil {
-					return true
-				}
-				if why, banned := bannedCall(fn); banned {
-					if !pass.Suppressed(pass.Analyzer.Name, call.Pos()) {
-						if _, seen := direct[obj]; !seen {
-							direct[obj] = why
-						}
-					}
-					return true
-				}
-				if fn.Pkg() == pass.Pkg {
-					calls[obj] = append(calls[obj], fn)
-				}
+	for _, obj := range g.Funcs {
+		fd := g.Decls[obj]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
 				return true
-			})
-		}
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if why, banned := bannedCall(fn); banned {
+				if !pass.Suppressed(pass.Analyzer.Name, call.Pos()) {
+					if _, seen := direct[obj]; !seen {
+						direct[obj] = why
+					}
+				}
+			}
+			return true
+		})
 	}
 
 	// Fixpoint: propagate blocking facts through same-package calls.
-	blocking := make(map[*types.Func]blockedFunc, len(direct))
-	for fn, why := range direct {
-		blocking[fn] = blockedFunc{why: why}
-	}
-	for changed := true; changed; {
-		changed = false
-		for caller, callees := range calls {
-			if _, done := blocking[caller]; done {
-				continue
-			}
-			for _, callee := range callees {
-				if b, ok := blocking[callee]; ok {
-					blocking[caller] = blockedFunc{why: callee.Name() + " → " + b.why}
-					changed = true
-					break
-				}
-			}
-		}
+	why := callgraph.Propagate(g, direct, func(callee *types.Func, why string) string {
+		return callee.Name() + " → " + why
+	})
+	blocking := make(map[*types.Func]blockedFunc, len(why))
+	for fn, w := range why {
+		blocking[fn] = blockedFunc{why: w}
 	}
 
 	// Pass 2: walk each function body tracking which mutexes are held
 	// (lexically, branch-sensitive) and report banned or blocking calls
 	// inside a critical section.
-	for _, fd := range decls {
+	for _, obj := range g.Funcs {
 		w := &lockWalker{pass: pass, blocking: blocking}
-		w.walkBody(fd.Body.List, map[string]bool{})
+		w.walkBody(g.Decls[obj].Body.List, map[string]bool{})
 	}
 	return nil
 }
@@ -300,9 +271,20 @@ const (
 // mutexOp classifies call as a Lock/RLock or Unlock/RUnlock on a
 // sync.Mutex or sync.RWMutex and returns the receiver expression key.
 func mutexOp(info *types.Info, call *ast.CallExpr) (string, mutexOpKind) {
+	e, kind := mutexOpExpr(info, call)
+	if kind == opNone {
+		return "", opNone
+	}
+	return types.ExprString(e), kind
+}
+
+// mutexOpExpr is mutexOp before key rendering: it returns the mutex
+// receiver expression itself, so lockorder can normalize it to a
+// package-stable lock name while locksync keys by the printed form.
+func mutexOpExpr(info *types.Info, call *ast.CallExpr) (ast.Expr, mutexOpKind) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return "", opNone
+		return nil, opNone
 	}
 	var kind mutexOpKind
 	switch sel.Sel.Name {
@@ -311,16 +293,16 @@ func mutexOp(info *types.Info, call *ast.CallExpr) (string, mutexOpKind) {
 	case "Unlock", "RUnlock":
 		kind = opUnlock
 	default:
-		return "", opNone
+		return nil, opNone
 	}
 	fn, _ := info.Uses[sel.Sel].(*types.Func)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", opNone
+		return nil, opNone
 	}
 	if !isMethodOf(fn, "Mutex") && !isMethodOf(fn, "RWMutex") {
-		return "", opNone
+		return nil, opNone
 	}
-	return types.ExprString(sel.X), kind
+	return sel.X, kind
 }
 
 func copyHeld(held map[string]bool) map[string]bool {

@@ -1,0 +1,218 @@
+package kbqavet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// MustClose is the generic acquire/release checker: a value obtained
+// from a registered creator (os.Open and friends, net dials and
+// listens, snapshot.OpenImage, the cache directory flock, pool conn
+// take) must be provably released — a deferred Close, an explicit Close
+// on every path, or an escape (returned, passed along, stored, captured)
+// that hands the obligation to a new owner. The machinery is the same
+// all-paths walker spanend pioneered (callgraph.Tracker); this analyzer
+// is its registry of resource rules, and spanend is one more entry.
+//
+// Matching is declarative and name-based — creator name plus acquired
+// result type name — so fixtures can define local resource types and
+// future acquire APIs join by following the naming convention rather
+// than by editing the analyzer.
+var MustClose = &analysis.Analyzer{
+	Name: "mustclose",
+	Doc: "every acquired resource (file, conn, mmap image, flock) must be closed on all paths or handed off\n\n" +
+		"PR 9's Image.Close unmaps memory and PR 5's flock gates the cache dir; a leaked handle is a leaked mapping, fd, or wedged directory. " +
+		"Deliberate process-lifetime handles carry //kbqa:nolint mustclose with justification.",
+	Run: runMustClose,
+}
+
+// mustCloseRules registers the resource lifecycles the analyzer tracks.
+// Creators are matched by name in any package (os.Open and a project
+// acquireDirLock both return a *File to close); the acquired type name
+// keeps the match honest.
+var mustCloseRules = []lifecycleRule{
+	{
+		kind:        "file",
+		creators:    map[string]bool{"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true, "acquireDirLock": true},
+		resultTypes: map[string]bool{"File": true},
+		releases:    map[string]bool{"Close": true},
+	},
+	{
+		kind:        "connection",
+		creators:    map[string]bool{"Dial": true, "DialTimeout": true, "DialContext": true, "Accept": true, "take": true},
+		resultTypes: map[string]bool{"Conn": true, "TCPConn": true, "UDPConn": true, "UnixConn": true},
+		releases:    map[string]bool{"Close": true},
+	},
+	{
+		kind:        "listener",
+		creators:    map[string]bool{"Listen": true, "ListenTCP": true, "ListenUnix": true},
+		resultTypes: map[string]bool{"Listener": true, "TCPListener": true, "UnixListener": true},
+		releases:    map[string]bool{"Close": true},
+	},
+	{
+		kind:        "image",
+		creators:    map[string]bool{"OpenImage": true},
+		resultTypes: map[string]bool{"Image": true},
+		releases:    map[string]bool{"Close": true},
+	},
+}
+
+func runMustClose(pass *analysis.Pass) error {
+	return runLifecycle(pass, mustCloseRules)
+}
+
+// lifecycleRule declares one resource lifecycle: how a value is
+// acquired, what type it has, and which methods release it. The
+// messages are per-rule so spanend keeps its established wording.
+type lifecycleRule struct {
+	kind        string          // display noun ("file", "connection", ...)
+	creators    map[string]bool // creator function/method names
+	resultTypes map[string]bool // acquired result's named type
+	pointerOnly bool            // require pointer-to-named results (spans)
+	releases    map[string]bool // methods that discharge the obligation
+	// discardMsg and leakMsg override the default messages (spanend).
+	discardMsg func(creator, typeName string) string
+	leakMsg    func(varName, typeName string) string
+}
+
+func (r lifecycleRule) discard(creator, typeName string) string {
+	if r.discardMsg != nil {
+		return r.discardMsg(creator, typeName)
+	}
+	return creator + " result discarded; the acquired " + r.kind + " must be closed (assign it and defer Close)"
+}
+
+func (r lifecycleRule) leak(varName, typeName string) string {
+	if r.leakMsg != nil {
+		return r.leakMsg(varName, typeName)
+	}
+	return r.kind + " " + varName + " is not closed on every path; defer " + varName + ".Close(), close it on all branches, or hand it off"
+}
+
+// runLifecycle checks every function body of the package against the
+// rules: each assignment whose right-hand side is a registered creator
+// call starts an obligation the Tracker must see discharged.
+func runLifecycle(pass *analysis.Pass, rules []lifecycleRule) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		// Check each function body independently; a resource must be
+		// resolved within (or escape from) the function that acquired it.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncLifecycles(pass, body, rules)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncLifecycles finds creator-call assignments directly inside
+// body (not in nested function literals — those are their own scope)
+// and verifies each acquired value is released.
+func checkFuncLifecycles(pass *analysis.Pass, body *ast.BlockStmt, rules []lifecycleRule) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, rule := range rules {
+			idx, typeName := acquiredResultIndex(pass.TypesInfo, call, rule)
+			if idx < 0 || idx >= len(assign.Lhs) {
+				continue
+			}
+			lhs, ok := assign.Lhs[idx].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if lhs.Name == "_" {
+				pass.Reportf(assign.Pos(), "%s", rule.discard(creatorName(call), typeName))
+				return true
+			}
+			obj := pass.TypesInfo.Defs[lhs]
+			if obj == nil {
+				// Plain `=` assignment to an existing variable: resolve
+				// the use.
+				obj = pass.TypesInfo.Uses[lhs]
+			}
+			if obj == nil {
+				return true
+			}
+			t := &callgraph.Tracker{Info: pass.TypesInfo, Releases: rule.releases}
+			if !t.Resolved(body, assign, obj) {
+				pass.Reportf(assign.Pos(), "%s", rule.leak(lhs.Name, typeName))
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func creatorName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "creator"
+}
+
+// acquiredResultIndex reports which result of call (if any) the rule
+// tracks, and the matched type name.
+func acquiredResultIndex(info *types.Info, call *ast.CallExpr, rule lifecycleRule) (int, string) {
+	fn := callgraph.CalleeFunc(info, call)
+	if fn == nil || !rule.creators[fn.Name()] {
+		return -1, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1, ""
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if name, ok := acquiredType(res.At(i).Type(), rule); ok {
+			return i, name
+		}
+	}
+	return -1, ""
+}
+
+// acquiredType reports whether t is (a pointer to) one of the rule's
+// named resource types.
+func acquiredType(t types.Type, rule lifecycleRule) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	} else if rule.pointerOnly {
+		return "", false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if name := named.Obj().Name(); rule.resultTypes[name] {
+		return name, true
+	}
+	return "", false
+}

@@ -1,9 +1,6 @@
 package kbqavet
 
 import (
-	"go/ast"
-	"go/types"
-
 	"repro/internal/analysis"
 )
 
@@ -20,426 +17,42 @@ import (
 //	if sp != nil { ... sp.End() }
 //
 // satisfies the check: the nil branch has nothing to end.
+//
+// SpanEnd grew the all-paths machinery first; it now lives generalized
+// in callgraph.Tracker with the registry runner in mustclose.go, and
+// this analyzer is one registry entry — the span rule and its wording.
 var SpanEnd = &analysis.Analyzer{
 	Name: "spanend",
 	Doc: "every Tracer.Start/StartSpan/Child result must have End/Finish called on all paths\n\n" +
 		"Spans only record when ended; defer the End, end on every branch, or hand the span off.",
-	Run: runSpanEnd,
+	Run: func(pass *analysis.Pass) error {
+		return runLifecycle(pass, []lifecycleRule{spanRule})
+	},
 }
 
-// spanEndNames maps the creator method name to the closer expected on
-// its result type (Span.End, Trace.Finish — Child returns a Span).
-var spanCreators = map[string]bool{"Start": true, "StartSpan": true, "Child": true}
-var spanClosers = map[string]bool{"End": true, "Finish": true}
-
-func runSpanEnd(pass *analysis.Pass) error {
-	for _, file := range pass.Files {
-		if pass.InTestFile(file.Pos()) {
-			continue
-		}
-		// Check each function body independently; a span must be resolved
-		// within (or escape from) the function that created it.
-		ast.Inspect(file, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				body = fn.Body
-			case *ast.FuncLit:
-				body = fn.Body
-			default:
-				return true
-			}
-			if body != nil {
-				checkFuncSpans(pass, body)
-			}
-			return true
-		})
-	}
-	return nil
+// spanRule declares the span lifecycle: matching is by creator method
+// name and result type name rather than a hard dependency on
+// internal/obs, so the analyzer also covers future tracer layers (and
+// fixtures can define local span types).
+var spanRule = lifecycleRule{
+	kind:        "span",
+	creators:    map[string]bool{"Start": true, "StartSpan": true, "Child": true},
+	resultTypes: map[string]bool{"Span": true, "Trace": true},
+	pointerOnly: true,
+	releases:    map[string]bool{"End": true, "Finish": true},
+	discardMsg: func(creator, typeName string) string {
+		return creator + " result discarded; the returned *" + typeName + " must have " + spanCloserFor(typeName) + " called (or assign and defer it)"
+	},
+	leakMsg: func(varName, typeName string) string {
+		return "span " + varName + " is not ended on every path; defer " + varName + "." + spanCloserFor(typeName) + "() or end it on all branches"
+	},
 }
 
-// checkFuncSpans finds span-creating assignments directly inside body
-// (not in nested function literals — those are their own scope) and
-// verifies each is ended.
-func checkFuncSpans(pass *analysis.Pass, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Rhs) != 1 {
-			return true
-		}
-		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		idx, typeName := spanResultIndex(pass.TypesInfo, call)
-		if idx < 0 || idx >= len(assign.Lhs) {
-			return true
-		}
-		lhs, ok := assign.Lhs[idx].(*ast.Ident)
-		if !ok {
-			return true
-		}
-		if lhs.Name == "_" {
-			pass.Reportf(assign.Pos(), "%s result discarded; the returned *%s must have %s called (or assign and defer it)",
-				creatorName(call), typeName, closerFor(typeName))
-			return true
-		}
-		obj := pass.TypesInfo.Defs[lhs]
-		if obj == nil {
-			// Plain `=` assignment to an existing variable: resolve the use.
-			obj = pass.TypesInfo.Uses[lhs]
-		}
-		if obj == nil {
-			return true
-		}
-		if !spanResolved(pass, body, assign, obj) {
-			pass.Reportf(assign.Pos(), "span %s is not ended on every path; defer %s.%s() or end it on all branches",
-				lhs.Name, lhs.Name, closerFor(typeName))
-		}
-		return true
-	})
-}
-
-func creatorName(call *ast.CallExpr) string {
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		return sel.Sel.Name
-	}
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		return id.Name
-	}
-	return "span creator"
-}
-
-func closerFor(typeName string) string {
+// spanCloserFor names the closer on a span result type (Span.End,
+// Trace.Finish — Child returns a Span).
+func spanCloserFor(typeName string) string {
 	if typeName == "Trace" {
 		return "Finish"
 	}
 	return "End"
-}
-
-// spanResultIndex reports which result of call (if any) is a *Span or
-// *Trace produced by a Start/StartSpan/Child-named creator, and the type
-// name. Matching is by method name and result type name rather than a
-// hard dependency on internal/obs, so the analyzer also covers future
-// tracer layers (and fixtures can define local span types).
-func spanResultIndex(info *types.Info, call *ast.CallExpr) (int, string) {
-	fn := calleeFunc(info, call)
-	if fn == nil || !spanCreators[fn.Name()] {
-		return -1, ""
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok {
-		return -1, ""
-	}
-	res := sig.Results()
-	for i := 0; i < res.Len(); i++ {
-		if name, ok := spanPointerType(res.At(i).Type()); ok {
-			return i, name
-		}
-	}
-	return -1, ""
-}
-
-// spanPointerType reports whether t is a pointer to a named type called
-// Span or Trace.
-func spanPointerType(t types.Type) (string, bool) {
-	p, ok := t.(*types.Pointer)
-	if !ok {
-		return "", false
-	}
-	named, ok := p.Elem().(*types.Named)
-	if !ok {
-		return "", false
-	}
-	switch name := named.Obj().Name(); name {
-	case "Span", "Trace":
-		return name, true
-	}
-	return "", false
-}
-
-// spanResolved reports whether the span variable obj, created by assign
-// inside body, is guaranteed ended: by a defer, an escape, or an
-// explicit close on every path of the statements that follow.
-func spanResolved(pass *analysis.Pass, body *ast.BlockStmt, assign *ast.AssignStmt, obj types.Object) bool {
-	// Whole-function scan for the unconditional resolutions: a deferred
-	// close or an escape anywhere settles the obligation regardless of
-	// control flow.
-	resolved := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if resolved {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			// A closure that references the span owns (part of) its
-			// lifecycle; treat as escape.
-			if usesObj(pass, n, obj) {
-				resolved = true
-			}
-			return false
-		case *ast.DeferStmt:
-			if isCloserCall(pass, n.Call, obj) {
-				resolved = true
-			}
-		case *ast.ReturnStmt:
-			for _, r := range n.Results {
-				if usesObj(pass, r, obj) {
-					resolved = true
-				}
-			}
-		case *ast.CallExpr:
-			// Passed as an argument (not the receiver of a method call).
-			for _, arg := range n.Args {
-				if usesObj(pass, arg, obj) {
-					resolved = true
-				}
-			}
-		case *ast.AssignStmt:
-			if n == assign {
-				return true
-			}
-			// Aliased or stored somewhere: the alias carries the
-			// obligation; tracking it further is out of scope. A blank
-			// `_ = sp` is a no-op, not a handoff.
-			for i, r := range n.Rhs {
-				if len(n.Lhs) == len(n.Rhs) {
-					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
-						continue
-					}
-				}
-				if usesObj(pass, r, obj) {
-					resolved = true
-				}
-			}
-		case *ast.SendStmt:
-			if usesObj(pass, n.Value, obj) {
-				resolved = true
-			}
-		case *ast.CompositeLit:
-			for _, e := range n.Elts {
-				if usesObj(pass, e, obj) {
-					resolved = true
-				}
-			}
-		}
-		return !resolved
-	})
-	if resolved {
-		return true
-	}
-
-	// Path-sensitive pass: do the statements after the assignment close
-	// the span on every path?
-	stmts := stmtsAfter(body, assign)
-	if stmts == nil {
-		// Assignment buried in a construct we don't model (loop header,
-		// switch init, ...): fall back to "closed anywhere".
-		return closesAnywhere(pass, body, obj)
-	}
-	return listEnds(pass, stmts, obj)
-}
-
-// stmtsAfter returns the statements of the innermost statement list
-// containing assign, starting just after it, or nil if assign is not a
-// direct statement of any list in body.
-func stmtsAfter(body *ast.BlockStmt, assign *ast.AssignStmt) []ast.Stmt {
-	var out []ast.Stmt
-	var find func(list []ast.Stmt) bool
-	find = func(list []ast.Stmt) bool {
-		for i, s := range list {
-			if s == assign {
-				out = list[i+1:]
-				return true
-			}
-		}
-		for _, s := range list {
-			switch s := s.(type) {
-			case *ast.BlockStmt:
-				if find(s.List) {
-					return true
-				}
-			case *ast.IfStmt:
-				if find(s.Body.List) {
-					return true
-				}
-				if b, ok := s.Else.(*ast.BlockStmt); ok && find(b.List) {
-					return true
-				}
-			case *ast.ForStmt:
-				if find(s.Body.List) {
-					return true
-				}
-			case *ast.RangeStmt:
-				if find(s.Body.List) {
-					return true
-				}
-			case *ast.SwitchStmt:
-				for _, c := range s.Body.List {
-					if cc, ok := c.(*ast.CaseClause); ok && find(cc.Body) {
-						return true
-					}
-				}
-			case *ast.SelectStmt:
-				for _, c := range s.Body.List {
-					if cc, ok := c.(*ast.CommClause); ok && find(cc.Body) {
-						return true
-					}
-				}
-			case *ast.LabeledStmt:
-				if find([]ast.Stmt{s.Stmt}) {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	if find(body.List) {
-		return out
-	}
-	return nil
-}
-
-// listEnds reports whether every path through stmts closes the span.
-// Conservative: constructs it does not model simply don't count as
-// closing, so unusual control flow is flagged rather than missed.
-func listEnds(pass *analysis.Pass, stmts []ast.Stmt, obj types.Object) bool {
-	for _, s := range stmts {
-		switch s := s.(type) {
-		case *ast.IfStmt:
-			// if sp != nil { ... sp.End() } — the nil branch has nothing
-			// to end, so a closing then-branch settles it.
-			if s.Else == nil && isNonNilGuard(pass, s.Cond, obj) && listEnds(pass, s.Body.List, obj) {
-				return true
-			}
-			if s.Else != nil {
-				thenEnds := listEnds(pass, s.Body.List, obj)
-				var elseEnds bool
-				switch e := s.Else.(type) {
-				case *ast.BlockStmt:
-					elseEnds = listEnds(pass, e.List, obj)
-				case *ast.IfStmt:
-					elseEnds = listEnds(pass, []ast.Stmt{e}, obj)
-				}
-				if thenEnds && elseEnds {
-					return true
-				}
-			}
-		case *ast.BlockStmt:
-			if listEnds(pass, s.List, obj) {
-				return true
-			}
-		case *ast.DeferStmt:
-			if isCloserCall(pass, s.Call, obj) {
-				return true
-			}
-		case *ast.SwitchStmt:
-			if switchEnds(pass, s.Body.List, obj, true) {
-				return true
-			}
-		case *ast.TypeSwitchStmt:
-			if switchEnds(pass, s.Body.List, obj, true) {
-				return true
-			}
-		case *ast.ForStmt, *ast.RangeStmt:
-			// A loop body may run zero times; a close inside it proves
-			// nothing about the fall-through path.
-		default:
-			if stmtCloses(pass, s, obj) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// switchEnds reports whether every case body closes the span; a switch
-// without a default has a fall-through path, which only counts when
-// requireDefault is false.
-func switchEnds(pass *analysis.Pass, clauses []ast.Stmt, obj types.Object, requireDefault bool) bool {
-	hasDefault := false
-	for _, c := range clauses {
-		cc, ok := c.(*ast.CaseClause)
-		if !ok {
-			return false
-		}
-		if cc.List == nil {
-			hasDefault = true
-		}
-		if !listEnds(pass, cc.Body, obj) {
-			return false
-		}
-	}
-	return hasDefault || !requireDefault
-}
-
-// stmtCloses reports whether s (a simple statement) directly contains a
-// close call on obj, outside nested function literals.
-func stmtCloses(pass *analysis.Pass, s ast.Stmt, obj types.Object) bool {
-	closes := false
-	ast.Inspect(s, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		if call, ok := n.(*ast.CallExpr); ok && isCloserCall(pass, call, obj) {
-			closes = true
-		}
-		return !closes
-	})
-	return closes
-}
-
-func closesAnywhere(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
-	closes := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && isCloserCall(pass, call, obj) {
-			closes = true
-		}
-		return !closes
-	})
-	return closes
-}
-
-// isCloserCall reports whether call is obj.End() or obj.Finish().
-func isCloserCall(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || !spanClosers[sel.Sel.Name] {
-		return false
-	}
-	id, ok := ast.Unparen(sel.X).(*ast.Ident)
-	return ok && pass.TypesInfo.Uses[id] == obj
-}
-
-// usesObj reports whether node references obj anywhere except as the
-// receiver of a closer call (which is handled separately).
-func usesObj(pass *analysis.Pass, node ast.Node, obj types.Object) bool {
-	uses := false
-	ast.Inspect(node, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
-			uses = true
-		}
-		return !uses
-	})
-	return uses
-}
-
-// isNonNilGuard reports whether cond is `obj != nil`.
-func isNonNilGuard(pass *analysis.Pass, cond ast.Expr, obj types.Object) bool {
-	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
-	if !ok || bin.Op.String() != "!=" {
-		return false
-	}
-	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
-	isObj := func(e ast.Expr) bool {
-		id, ok := e.(*ast.Ident)
-		return ok && pass.TypesInfo.Uses[id] == obj
-	}
-	isNil := func(e ast.Expr) bool {
-		id, ok := e.(*ast.Ident)
-		return ok && id.Name == "nil"
-	}
-	return (isObj(x) && isNil(y)) || (isObj(y) && isNil(x))
 }

@@ -1,0 +1,62 @@
+// Package errsink exercises the error-sink analyzer: fsync, rename,
+// Close, and encode errors must not be discarded in library code.
+package errsink
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+)
+
+// bareSync drops the one signal that bytes reached the platter.
+func bareSync(f *os.File) {
+	f.Sync() // want `error from \(\*os.File\).Sync discarded`
+}
+
+// blankRename drops a failed publish on the floor.
+func blankRename(from, to string) {
+	_ = os.Rename(from, to) // want "error from os.Rename discarded"
+}
+
+// checkedRename handles it: clean.
+func checkedRename(from, to string) error {
+	return os.Rename(from, to)
+}
+
+// bareClose on a file can swallow the only report of lost writes.
+func bareClose(f *os.File) {
+	f.Close() // want "error from File.Close discarded"
+}
+
+// deferredClose is a sanctioned sink: a defer has no handler frame.
+func deferredClose(f *os.File) {
+	defer f.Close()
+}
+
+// netTeardown is a sanctioned sink: socket teardown is best-effort.
+func netTeardown(c net.Conn, l net.Listener) {
+	c.Close()
+	l.Close()
+}
+
+// blankMarshal loses the encode failure and serves a zero payload.
+func blankMarshal(v any) []byte {
+	b, _ := json.Marshal(v) // want "error from encoding/json.Marshal discarded"
+	return b
+}
+
+// checkedMarshal: clean.
+func checkedMarshal(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// bareEncode drops a failed response write.
+func bareEncode(enc *json.Encoder, v any) {
+	enc.Encode(v) // want "error from encoding/json.Encoder.Encode discarded"
+}
+
+// vetted is a documented best-effort path.
+func vetted(f *os.File) {
+	//kbqa:nolint errsink — dir fsync is best-effort on this fixture path
+	f.Sync()
+}

@@ -1,0 +1,10 @@
+// Package main is exempt from goroutinelife: a process entry point's
+// goroutines die with the process.
+package main
+
+func main() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,136 @@
+// Package goroutinelife exercises the goroutine-lifecycle analyzer:
+// unbounded loops need a termination signal, and closure sends must not
+// be able to block forever.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+)
+
+// leakyLoop spins forever with no way to stop or drain it.
+func leakyLoop(work func()) {
+	go func() { // want "no provable termination signal"
+		for {
+			work()
+		}
+	}()
+}
+
+// waitGroup drains through wg.Done: the owner can await it.
+func waitGroup(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			work()
+		}
+	}()
+	wg.Wait()
+}
+
+// stopChannel ends through a select receive on a stop channel.
+func stopChannel(work func(), stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// ctxDone ends through ctx.Done — the merger shape.
+func ctxDone(ctx context.Context, tick chan struct{}, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// bounded bodies terminate by construction.
+func bounded(work func()) {
+	go func() {
+		for i := 0; i < 3; i++ {
+			work()
+		}
+	}()
+}
+
+// channelRange ends when the channel closes: close(jobs) is the signal.
+func channelRange(jobs chan int, work func(int)) {
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}
+
+// loopForever is spawned by name below; the spawn site is flagged.
+func loopForever(work func()) {
+	for {
+		work()
+	}
+}
+
+func spawnNamed(work func()) {
+	go loopForever(work) // want "no provable termination signal"
+}
+
+// suppressed is a vetted process-lifetime goroutine.
+func suppressed(work func()) {
+	//kbqa:nolint goroutinelife — deliberate process-lifetime worker, dies with the daemon
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// unbufferedSend can block forever once the receiver walks away.
+func unbufferedSend(vals []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		for _, v := range vals {
+			out <- v // want "can block forever"
+		}
+	}()
+	return out
+}
+
+// fanoutSend is the sanctioned scatter shape: buffer sized to the
+// fan-out, so losers never block.
+func fanoutSend(vals []int) <-chan int {
+	out := make(chan int, len(vals))
+	go func() {
+		for _, v := range vals {
+			out <- v
+		}
+	}()
+	return out
+}
+
+// guardedSend bails out through the select's other arm.
+func guardedSend(vals []int, stop chan struct{}) <-chan int {
+	out := make(chan int)
+	go func() {
+		for _, v := range vals {
+			select {
+			case out <- v:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,85 @@
+// Package lockorder exercises the lock-acquisition-order analyzer: an
+// A-then-B path plus a B-then-A path is a potential deadlock.
+package lockorder
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	stats sync.Mutex
+	aux   sync.Mutex
+}
+
+// abPath establishes the order registry.mu → registry.stats.
+func (r *registry) abPath() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Lock() // want "acquiring registry.stats while registry.mu is held creates a lock-order cycle"
+	r.stats.Unlock()
+}
+
+// baPath inverts it: with abPath concurrently in flight, deadlock.
+func (r *registry) baPath() {
+	r.stats.Lock()
+	defer r.stats.Unlock()
+	r.mu.Lock() // want "acquiring registry.mu while registry.stats is held creates a lock-order cycle"
+	r.mu.Unlock()
+}
+
+// auxNested nests consistently (mu → aux only): no cycle, no report.
+func (r *registry) auxNested() {
+	r.mu.Lock()
+	r.aux.Lock()
+	r.aux.Unlock()
+	r.mu.Unlock()
+}
+
+// sequential acquisitions never overlap: no edge at all.
+func (r *registry) sequential() {
+	r.aux.Lock()
+	r.aux.Unlock()
+	r.stats.Lock()
+	r.stats.Unlock()
+}
+
+// Interprocedural: grab holds chained.mu and calls touchStats, which
+// acquires chained.stats — the edge records at the call site. Combined
+// with statsFirst below, that's a cycle seen only through the call
+// graph.
+type chained struct {
+	mu    sync.Mutex
+	stats sync.Mutex
+}
+
+func (c *chained) touchStats() {
+	c.stats.Lock() // no lock held here; the edge records at grab's call site
+	defer c.stats.Unlock()
+}
+
+func (c *chained) grab() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchStats() // want "acquiring chained.stats while chained.mu is held creates a lock-order cycle"
+}
+
+func (c *chained) statsFirst() {
+	c.stats.Lock()
+	defer c.stats.Unlock()
+	c.mu.Lock() // want "acquiring chained.mu while chained.stats is held creates a lock-order cycle"
+	c.mu.Unlock()
+}
+
+// selfCoupling walks a chain hand-over-hand: same lock class twice.
+// The vetted form carries the ordering argument in the justification.
+type node struct {
+	mu   sync.Mutex
+	next *node
+}
+
+func (n *node) vettedCoupling() {
+	n.mu.Lock()
+	//kbqa:nolint lockorder — hand-over-hand along the chain, parent before child by construction
+	n.next.mu.Lock()
+	n.next.mu.Unlock()
+	n.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+// Package mustclose exercises the generic acquire/release checker:
+// files, connections, listeners, and images must be closed on every
+// path or handed off.
+package mustclose
+
+import (
+	"net"
+	"os"
+)
+
+// leakyFile never closes on the happy path.
+func leakyFile(path string) error {
+	f, err := os.Open(path) // want "file f is not closed on every path"
+	if err != nil {
+		return err
+	}
+	f.Sync()
+	return nil
+}
+
+// deferClose is the idiom.
+func deferClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	f.Sync()
+	return nil
+}
+
+// allBranches closes explicitly on every path.
+func allBranches(path string, cond bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if cond {
+		f.Close()
+	} else {
+		f.Close()
+	}
+	return nil
+}
+
+// returned hands the obligation to the caller.
+func returned(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// discarded throws the handle away outright.
+func discarded(path string) {
+	_, _ = os.Open(path) // want "Open result discarded"
+}
+
+// nilGuard closes under the non-nil guard; the nil branch holds
+// nothing.
+func nilGuard(path string) {
+	f, _ := os.Open(path)
+	if f != nil {
+		f.Close()
+	}
+}
+
+// leakyConn reads and forgets the connection.
+func leakyConn(addr string) error {
+	conn, err := net.Dial("tcp", addr) // want "connection conn is not closed on every path"
+	if err != nil {
+		return err
+	}
+	conn.LocalAddr()
+	return nil
+}
+
+// handoff sends the conn to its new owner; the obligation travels.
+func handoff(addr string, sink chan net.Conn) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sink <- conn
+	return nil
+}
+
+// leakyListener drops the listener after reading its address.
+func leakyListener() error {
+	lis, err := net.Listen("tcp", "127.0.0.1:0") // want "listener lis is not closed on every path"
+	if err != nil {
+		return err
+	}
+	lis.Addr()
+	return nil
+}
+
+// Image mirrors snapshot.Image: OpenImage acquires, Close unmaps.
+type Image struct{ data []byte }
+
+func OpenImage(path string) (*Image, error) { return &Image{}, nil }
+func (im *Image) Close() error              { return nil }
+func (im *Image) probe()                    {}
+
+// leakyImage maps and forgets — a leaked mapping.
+func leakyImage(path string) error {
+	im, err := OpenImage(path) // want "image im is not closed on every path"
+	if err != nil {
+		return err
+	}
+	im.probe()
+	return nil
+}
+
+// closedImage unmaps on every path.
+func closedImage(path string) error {
+	im, err := OpenImage(path)
+	if err != nil {
+		return err
+	}
+	defer im.Close()
+	im.probe()
+	return nil
+}
+
+// deliberate is a vetted process-lifetime handle.
+func deliberate(path string) {
+	//kbqa:nolint mustclose — process-lifetime lock file, released by exit
+	f, _ := os.Create(path)
+	f.Sync()
+}

@@ -1,0 +1,29 @@
+// Package nolintunused exercises the framework's stale-suppression
+// meta-check: a //kbqa:nolint directive that suppresses nothing for an
+// analyzer in the run is itself reported (analyzer "nolint"), while
+// directives that do suppress — and directives naming analyzers outside
+// the run — stay silent.
+package nolintunused
+
+import "context"
+
+// used carries a directive that suppresses a real ctxpropagate
+// diagnostic: live, not reported.
+func used() {
+	//kbqa:nolint ctxpropagate — deliberate fresh root for this fixture
+	_ = context.Background()
+}
+
+// stale carries a directive with nothing to suppress.
+func stale(x int) int {
+	//kbqa:nolint ctxpropagate — stale on purpose // want "suppresses no ctxpropagate diagnostic"
+	return x + 1
+}
+
+// otherAnalyzer names an analyzer outside this run: the directive is
+// not audited (a ctxpropagate-only run proves nothing about locksync),
+// and it does not suppress the ctxpropagate finding either.
+func otherAnalyzer() {
+	//kbqa:nolint locksync — wrong analyzer, deliberately
+	_ = context.Background() // want "context.Background"
+}

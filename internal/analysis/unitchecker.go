@@ -48,7 +48,15 @@ type Config struct {
 // Exit status: 0 clean, 1 operational failure, 2 diagnostics reported —
 // the unitchecker convention `go vet` expects.
 func Main(analyzers ...*Analyzer) {
-	fs := flag.NewFlagSet(filepath.Base(os.Args[0]), flag.ExitOnError)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, analyzers))
+}
+
+// run is Main with its process edges injected — argv minus the tool
+// name, both output streams, and the exit status as the return value —
+// so the unitchecker protocol is testable without forking.
+func run(args []string, stdout, stderr io.Writer, analyzers []*Analyzer) int {
+	fs := flag.NewFlagSet(filepath.Base(os.Args[0]), flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	printVersion := fs.String("V", "", "print version and exit (-V=full for a build fingerprint)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON")
 	jsonOut := fs.Bool("json", false, "emit JSON diagnostics")
@@ -60,15 +68,16 @@ func Main(analyzers ...*Analyzer) {
 		}
 		selected[a.Name] = fs.Bool(a.Name, false, "run only analyzers enabled by flag: "+doc)
 	}
-	fs.Parse(os.Args[1:])
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
 
 	if *printVersion != "" {
-		versionFingerprint(*printVersion)
-		return
+		versionFingerprint(stdout, *printVersion)
+		return 0
 	}
 	if *printFlags {
-		flagsJSON(fs)
-		return
+		return flagsJSON(stdout, stderr, fs)
 	}
 	enabled := analyzers
 	if any := false; true {
@@ -86,51 +95,54 @@ func Main(analyzers ...*Analyzer) {
 	}
 
 	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] <unit>.cfg\n(this tool is meant to be driven by `go vet -vettool`)\n", filepath.Base(os.Args[0]))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "usage: %s [flags] <unit>.cfg\n(this tool is meant to be driven by `go vet -vettool`)\n", filepath.Base(os.Args[0]))
+		return 1
 	}
 	diags, err := runUnit(fs.Arg(0), enabled)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	if len(diags) == 0 {
-		return
+		return 0
 	}
 	if *jsonOut {
-		printJSONDiagnostics(os.Stdout, diags)
-		return // JSON mode reports findings in-band; exit 0 like unitchecker
+		// JSON mode reports findings in-band; exit 0 like unitchecker.
+		if err := printJSONDiagnostics(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+		fmt.Fprintln(stderr, d)
 	}
-	os.Exit(2)
+	return 2
 }
 
 // versionFingerprint answers -V=full with "name version devel buildID=…",
 // the shape cmd/go parses to fold the tool's identity into action cache
 // keys — so editing an analyzer invalidates previously clean vet results.
-func versionFingerprint(mode string) {
+func versionFingerprint(w io.Writer, mode string) {
 	name := filepath.Base(os.Args[0])
 	if mode != "full" {
-		//kbqa:nolint structuredlog — vet -V protocol output, read by cmd/go
-		fmt.Printf("%s version devel\n", name)
+		fmt.Fprintf(w, "%s version devel\n", name)
 		return
 	}
 	h := sha256.New()
 	if exe, err := os.Executable(); err == nil {
 		if f, err := os.Open(exe); err == nil {
 			io.Copy(h, f)
+			//kbqa:nolint errsink — read-only handle; a failed close loses nothing
 			f.Close()
 		}
 	}
-	//kbqa:nolint structuredlog — vet -V=full protocol output, read by cmd/go
-	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
 }
 
 // flagsJSON prints the flag set in the JSON shape cmd/go's -flags probe
 // expects (it validates user-passed analyzer flags against this list).
-func flagsJSON(fs *flag.FlagSet) {
+func flagsJSON(stdout, stderr io.Writer, fs *flag.FlagSet) int {
 	type jsonFlag struct {
 		Name  string
 		Bool  bool
@@ -143,10 +155,11 @@ func flagsJSON(fs *flag.FlagSet) {
 	})
 	data, err := json.MarshalIndent(flags, "", "\t")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	os.Stdout.Write(data)
+	stdout.Write(data)
+	return 0
 }
 
 // positionedDiagnostic is one finding rendered against real file
@@ -161,7 +174,7 @@ func (d positionedDiagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
 }
 
-func printJSONDiagnostics(w io.Writer, diags []positionedDiagnostic) {
+func printJSONDiagnostics(w io.Writer, diags []positionedDiagnostic) error {
 	type jd struct {
 		Posn     string `json:"posn"`
 		Message  string `json:"message"`
@@ -173,7 +186,7 @@ func printJSONDiagnostics(w io.Writer, diags []positionedDiagnostic) {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "\t")
-	enc.Encode(out)
+	return enc.Encode(out)
 }
 
 // runUnit loads one vet config, type-checks the unit against the export

@@ -149,6 +149,7 @@ func appendJSONValue(buf []byte, v any) []byte {
 	}
 	b, err := json.Marshal(v)
 	if err != nil {
+		//kbqa:nolint errsink — marshalling a plain string cannot fail
 		b, _ = json.Marshal(fmt.Sprintf("%v", v))
 	}
 	return append(buf, b...)

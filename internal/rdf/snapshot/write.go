@@ -93,8 +93,9 @@ func syncDir(dir string) {
 	if err != nil {
 		return
 	}
+	defer d.Close()
+	//kbqa:nolint errsink — best-effort by contract: not every filesystem supports dir fsync
 	d.Sync()
-	d.Close()
 }
 
 // section is one contiguous region of the image body.

@@ -250,6 +250,7 @@ func OpenDiskStore[A any](dir string, codec Codec[A], o DiskOptions) (*DiskStore
 		s.maxSealedBehind = defaultMaxSealedBehind
 	}
 	fail := func(err error) (*DiskStore[A], error) {
+		//kbqa:nolint errsink — error-path flock release; the open failure is the error that matters
 		lock.Close()
 		return nil, err
 	}
@@ -454,10 +455,12 @@ func (s *DiskStore[A]) writeSegment(path string, live []liveEntry[A], gen uint64
 		writeRecord(w, encodeEntryPayload(le.key, val, le.e.Gen, le.e.At.UnixNano(), le.e.OK))
 	}
 	if err := w.Flush(); err != nil {
+		//kbqa:nolint errsink — error-path cleanup of a temp file about to be unlinked
 		f.Close()
 		return fmt.Errorf("serve: write segment: %w", err)
 	}
 	if err := f.Sync(); err != nil {
+		//kbqa:nolint errsink — error-path cleanup of a temp file about to be unlinked
 		f.Close()
 		return fmt.Errorf("serve: write segment: %w", err)
 	}
@@ -485,6 +488,7 @@ func syncDir(dir string) {
 		return
 	}
 	defer d.Close()
+	//kbqa:nolint errsink — best-effort by contract: not every filesystem supports dir fsync
 	d.Sync()
 }
 
@@ -1051,6 +1055,7 @@ func (s *DiskStore[A]) Close() error {
 	closeErr := f.Close()
 	s.syncDirIfDirty() // dirDirty is atomic; no lock needed
 	if s.lock != nil {
+		//kbqa:nolint errsink — advisory flock dies with the fd either way; nothing to recover
 		s.lock.Close() // releases the flock
 	}
 

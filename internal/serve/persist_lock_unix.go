@@ -20,6 +20,7 @@ func acquireDirLock(dir string) (*os.File, error) {
 		return nil, fmt.Errorf("serve: open cache lock: %w", err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		//kbqa:nolint errsink — error-path close; the flock contention is the error that matters
 		f.Close()
 		return nil, fmt.Errorf("serve: cache dir %s locked by another process: %w", dir, err)
 	}

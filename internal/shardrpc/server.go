@@ -44,6 +44,10 @@ type Server struct {
 	lis    net.Listener
 	conns  map[net.Conn]bool
 	closed bool
+	// handlers counts live handleConn goroutines; Close waits on it so
+	// the store (possibly a memory-mapped image) cannot be torn down
+	// while a request is still executing against it.
+	handlers sync.WaitGroup
 
 	requests atomic.Uint64
 	failures atomic.Uint64
@@ -132,16 +136,23 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 			return nil
 		}
 		s.conns[conn] = true
+		// Add under s.mu: once Close flips s.closed no new handler can
+		// register, so its Wait sees every goroutine ever spawned.
+		s.handlers.Add(1)
 		s.mu.Unlock()
 		go s.handleConn(conn)
 	}
 }
 
-// Close stops the listener and all open connections. Idempotent.
+// Close stops the listener and all open connections, then waits for
+// every in-flight handler to return — after Close, nothing touches the
+// store, so the caller may unmap or free it. Idempotent; later calls
+// also wait, so every returning Close carries the same guarantee.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.handlers.Wait()
 		return
 	}
 	s.closed = true
@@ -157,6 +168,9 @@ func (s *Server) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	// Closed conns fail the handlers' blocking reads/writes, so this
+	// converges quickly; waiting outside s.mu keeps dropConn live.
+	s.handlers.Wait()
 }
 
 func (s *Server) dropConn(conn net.Conn) {
@@ -168,6 +182,7 @@ func (s *Server) dropConn(conn net.Conn) {
 
 // handleConn runs the handshake then the request loop for one connection.
 func (s *Server) handleConn(conn net.Conn) {
+	defer s.handlers.Done()
 	defer s.dropConn(conn)
 	if err := s.handshake(conn); err != nil {
 		s.failures.Add(1)
@@ -250,6 +265,7 @@ func (s *Server) handleRequest(conn net.Conn, payload []byte) error {
 	sp.End()
 	var spanJSON []byte
 	if sp != nil {
+		//kbqa:nolint errsink — a span snapshot of strings and ints cannot fail to marshal; the reply must not
 		spanJSON, _ = json.Marshal(sp.Snapshot())
 	}
 	if hdr.deadline != 0 {

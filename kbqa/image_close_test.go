@@ -1,0 +1,75 @@
+package kbqa
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// mappedCount counts this process's live memory mappings of path
+// (linux: one /proc/self/maps line per mapping).
+func mappedCount(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile("/proc/self/maps")
+	if err != nil {
+		t.Fatalf("read maps: %v", err)
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasSuffix(line, path) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCloseUnmapsKBImage: Close must actually release the snapshot
+// mapping and surface the unmap result — a discarded munmap error (or a
+// skipped unmap) accumulates address space across Build/Close cycles in
+// a process that reloads its KB, which is exactly how a long-lived
+// server rebuilds after retraining.
+func TestCloseUnmapsKBImage(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("reads /proc/self/maps")
+	}
+	opts := Options{Flavor: "freebase", Seed: 7, Scale: 10, PairsPerIntent: 4}
+	base, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := filepath.Join(t.TempDir(), "kb.img")
+	if err := base.SaveKBImage(img); err != nil {
+		t.Fatal(err)
+	}
+
+	withImage := opts
+	withImage.KBImage = img
+	for i := 0; i < 3; i++ {
+		s, err := Build(withImage)
+		if err != nil {
+			t.Fatalf("Build %d: %v", i, err)
+		}
+		if n := mappedCount(t, img); n == 0 {
+			t.Fatalf("Build %d: image %s is not mapped", i, img)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close %d: %v", i, err)
+		}
+		if n := mappedCount(t, img); n != 0 {
+			t.Fatalf("Close %d left %d live mapping(s) of %s", i, n, img)
+		}
+	}
+
+	// Building with both external backings must fail fast, before either
+	// is acquired — nothing to leak, nothing mapped.
+	conflicted := withImage
+	conflicted.ShardServers = []string{"127.0.0.1:1"}
+	if _, err := Build(conflicted); err == nil {
+		t.Fatal("Build accepted KBImage together with ShardServers")
+	}
+	if n := mappedCount(t, img); n != 0 {
+		t.Fatalf("failed Build left %d live mapping(s) of %s", n, img)
+	}
+}

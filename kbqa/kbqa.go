@@ -226,17 +226,29 @@ func Build(o Options) (*System, error) {
 	}
 	s := &System{world: eval.BuildWorld(cfg)}
 	s.kb = s.world.KB.Store
+	if err := s.wire(o); err != nil {
+		//kbqa:nolint errsink — error-path release of whatever wiring already acquired; the build error is the one to surface
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// wire attaches the optional external KB backing — a memory-mapped
+// snapshot image or a shard-server pool. On error the System may hold
+// partially acquired resources; Build releases them via Close.
+func (s *System) wire(o Options) error {
 	if len(o.ShardServers) > 0 {
 		if err := s.connectShards(o); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if o.KBImage != "" {
 		if err := s.openImage(o.KBImage); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return s, nil
+	return nil
 }
 
 // openImage rebinds the system's online engine to a memory-mapped
@@ -303,14 +315,17 @@ func (s *System) connectShards(o Options) error {
 // Close releases the system's external resources — the shard-server
 // connection pool of a distributed KB, and the memory mapping of a
 // snapshot image. Safe (and a no-op) on a single-process in-memory
-// system; the system must not be queried afterwards.
-func (s *System) Close() {
+// system; the system must not be queried afterwards. The returned error
+// is the image unmap result: munmap failure means the mapping (and its
+// address space) is still live, which the caller may care about.
+func (s *System) Close() error {
 	if s.pool != nil {
 		s.pool.Close()
 	}
 	if s.img != nil {
-		s.img.Close()
+		return s.img.Close()
 	}
+	return nil
 }
 
 // engine snapshots the current online engine; queries run against the
